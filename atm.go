@@ -1,0 +1,224 @@
+// Package atm is the public API of the Active Timing Margin (ATM)
+// fine-tuning library: a faithful software reproduction of "Fine-Tuning
+// the Active Timing Margin (ATM) Control Loop for Maximizing Multi-Core
+// Efficiency on an IBM POWER Server" (HPCA 2019).
+//
+// The library models a two-socket POWER7+-class server whose cores each
+// carry programmable Critical Path Monitors (CPMs) and a per-core DPLL
+// frequency control loop, and implements the paper's contribution on
+// top of that platform:
+//
+//   - fine-tuning the per-core control loop by reducing CPM inserted
+//     delay (Machine.ProgramCPM);
+//   - the characterization methodology that finds each core's operating
+//     limits under idle, micro-benchmark, and realistic workloads
+//     (Characterize);
+//   - the test-time stress-test deployment procedure (Deploy);
+//   - the management layer — Eq. 1 frequency predictor, per-application
+//     performance predictor, governors and the scheduler/throttler —
+//     that turns the exposed variability into predictable performance
+//     (NewManager);
+//   - the full experiment suite regenerating every table and figure of
+//     the paper's evaluation (NewSuite).
+//
+// Quick start:
+//
+//	machine := atm.NewReferenceMachine()
+//	dep, err := atm.Deploy(machine, atm.DeployOptions{})
+//	...
+//	mgr, err := atm.NewManager(machine, dep, nil)
+//	ev, err := mgr.Evaluate(atm.ScenarioManagedMax, pair, 0.10)
+//
+// See examples/ for runnable programs and DESIGN.md for the model and
+// its calibration against the paper's published measurements.
+package atm
+
+import (
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/manage"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/silicon"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// Re-exported platform types. The heavy lifting lives in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Machine is the simulated server: chips, cores, CPMs, control
+	// loops, power delivery and thermal state.
+	Machine = chip.Machine
+	// Core is one core's runtime state (mode, p-state, workload, CPM
+	// configuration).
+	Core = chip.Core
+	// OperatingPoint is a solved steady state of the whole machine.
+	OperatingPoint = chip.State
+	// UndervoltResult is the off-chip voltage controller's power-saving
+	// operating point (Machine.SolveUndervolt) — the third ATM
+	// component, which the paper's experiments disable.
+	UndervoltResult = chip.UndervoltResult
+	// CapResult is the EnergyScale power-capping controller's operating
+	// point (Machine.SolveCapped).
+	CapResult = chip.CapResult
+	// SiliconProfile describes a server's manufactured silicon.
+	SiliconProfile = silicon.ServerProfile
+	// GenerateOptions controls the Monte-Carlo silicon generator.
+	GenerateOptions = silicon.GenerateOptions
+
+	// Workload is a behavioural workload profile.
+	Workload = workload.Profile
+	// Stressmark is a test-time worst-case generator.
+	Stressmark = workload.Stressmark
+
+	// CharactOptions tunes the characterization methodology.
+	CharactOptions = charact.Options
+	// CharactReport is the methodology's full output (Table I data,
+	// Fig. 7–10 distributions).
+	CharactReport = charact.Report
+
+	// DeployOptions tunes the test-time stress-test deployment.
+	DeployOptions = tuning.Options
+	// Deployment is a server's deployed fine-tuned configuration.
+	Deployment = tuning.Deployment
+
+	// Manager is the managed-ATM scheduler.
+	Manager = manage.Manager
+	// Governor selects the CPM configuration policy.
+	Governor = manage.Governor
+	// Scenario is one of the evaluation's system configurations.
+	Scenario = manage.Scenario
+	// Pair is a ⟨critical : background⟩ co-location.
+	Pair = manage.Pair
+	// Evaluation is a measured scenario outcome.
+	Evaluation = manage.Evaluation
+
+	// Suite regenerates the paper's tables and figures.
+	Suite = core.Suite
+	// SuiteOptions configures the experiment suite.
+	SuiteOptions = core.SuiteOptions
+
+	// JobSimulator is the discrete-event OS-level scheduler running
+	// dynamic job traces under the management policies.
+	JobSimulator = sched.Simulator
+	// Job is one unit of scheduled work.
+	Job = sched.Job
+	// SchedOptions configures a scheduling run and its trace.
+	SchedOptions = sched.Options
+	// SchedResult aggregates a scheduling run.
+	SchedResult = sched.Result
+	// SchedPolicy selects placement/clocking for the job simulator.
+	SchedPolicy = sched.Policy
+)
+
+// Scenarios (Fig. 14).
+const (
+	ScenarioStaticMargin       = manage.ScenarioStaticMargin
+	ScenarioDefaultATM         = manage.ScenarioDefaultATM
+	ScenarioFineTunedUnmanaged = manage.ScenarioFineTunedUnmanaged
+	ScenarioManagedMax         = manage.ScenarioManagedMax
+	ScenarioManagedBalanced    = manage.ScenarioManagedBalanced
+)
+
+// Governors (Fig. 13 policy knob).
+const (
+	GovernorDefault      = manage.GovernorDefault
+	GovernorConservative = manage.GovernorConservative
+	GovernorAggressive   = manage.GovernorAggressive
+)
+
+// Dynamic scheduling policies (internal/sched).
+const (
+	SchedStatic    = sched.PolicyStatic
+	SchedOndemand  = sched.PolicyOndemand
+	SchedUnmanaged = sched.PolicyUnmanaged
+	SchedManaged   = sched.PolicyManaged
+)
+
+// NewReferenceMachine returns the machine calibrated to the paper's two
+// POWER7+ chips: running the characterization methodology against it
+// rediscovers the published Table I.
+func NewReferenceMachine() *Machine { return chip.NewReference() }
+
+// NewMachine builds a machine over an explicit silicon profile.
+func NewMachine(profile *SiliconProfile) (*Machine, error) {
+	return chip.New(profile, chip.Options{})
+}
+
+// ReferenceSilicon returns the paper-calibrated silicon profile.
+func ReferenceSilicon() *SiliconProfile { return silicon.Reference() }
+
+// GenerateSilicon manufactures a fresh server from the forward
+// process-variation model — the method generalizes beyond the paper's
+// two chips.
+func GenerateSilicon(seed uint64, opts GenerateOptions) (*SiliconProfile, error) {
+	return silicon.Generate(seed, opts)
+}
+
+// Characterize runs the paper's Sec. III-B methodology over every core:
+// idle limits, uBench limits, and per-application rollback, producing
+// the Table I / Fig. 7–10 data.
+func Characterize(m *Machine, opts CharactOptions) (*CharactReport, error) {
+	return charact.Characterize(m, opts)
+}
+
+// Deploy runs the Sec. VII-A test-time stress-test procedure and
+// programs the machine with each core's fine-tuned configuration.
+func Deploy(m *Machine, opts DeployOptions) (*Deployment, error) {
+	return tuning.Deploy(m, opts)
+}
+
+// NewManager wires the Sec. VII management layer over a deployed
+// machine: it calibrates the per-core Eq. 1 frequency predictors and the
+// per-application performance predictors, then schedules and throttles
+// to meet QoS. rep may be nil when only the default governor is used.
+func NewManager(m *Machine, dep *Deployment, rep *CharactReport) (*Manager, error) {
+	return manage.NewManager(m, dep, rep)
+}
+
+// NewSuite builds the experiment pipeline that regenerates every table
+// and figure of the paper (see cmd/atmfigures).
+func NewSuite(opts SuiteOptions) (*Suite, error) { return core.NewSuite(opts) }
+
+// NewReferenceSuite is NewSuite over the reference silicon.
+func NewReferenceSuite() (*Suite, error) { return core.NewReferenceSuite() }
+
+// WorkloadByName looks up a workload profile (SPEC CPU 2017, PARSEC 3.0,
+// DNN inference, uBench) by its benchmark name.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// Workloads returns the full workload library.
+func Workloads() []Workload { return workload.All() }
+
+// CriticalWorkloads returns the latency-sensitive Table II applications.
+func CriticalWorkloads() []Workload { return workload.Critical() }
+
+// BackgroundWorkloads returns the throttle-tolerant Table II
+// applications.
+func BackgroundWorkloads() []Workload { return workload.Background() }
+
+// VoltageVirus returns the paper's test-time di/dt + power stressmark.
+func VoltageVirus() Stressmark { return workload.VoltageVirus() }
+
+// Fig14Pairs returns the evaluation's ⟨critical : background⟩ pairs.
+func Fig14Pairs() []Pair { return manage.Fig14Pairs() }
+
+// NewJobSimulator builds the dynamic job scheduler over a deployed
+// machine.
+func NewJobSimulator(m *Machine, dep *Deployment, chipLabel string) (*JobSimulator, error) {
+	return sched.NewSimulator(m, dep, chipLabel)
+}
+
+// GenerateJobTrace draws a reproducible Poisson job trace.
+func GenerateJobTrace(o SchedOptions, seed uint64) []Job {
+	return sched.GenerateTrace(o, rng.New(seed))
+}
+
+// ReferenceTableIRow returns the paper's published Table I limits for a
+// reference core label, for comparing regenerated results against the
+// paper.
+func ReferenceTableIRow(core string) (idle, uBench, normal, worst int, ok bool) {
+	return silicon.ReferenceTableI(core)
+}

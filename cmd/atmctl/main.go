@@ -1,0 +1,347 @@
+// Command atmctl drives the ATM fine-tuning library interactively:
+// characterize a server, run the test-time deployment, schedule managed
+// co-locations, sweep a core's CPM configuration, or watch the control
+// loop's transient response.
+//
+// Usage:
+//
+//	atmctl characterize [-trials 10] [-seed 1]
+//	atmctl tune [-rollback 0]
+//	atmctl schedule -critical squeezenet -background lu_cb [-scenario managed-balanced] [-qos 0.10]
+//	atmctl sweep -core P0C3
+//	atmctl transient [-chip P0] [-steps 2000] [-stress]
+//	atmctl status
+//
+// Add -generated <seed> to any subcommand to run on Monte-Carlo silicon
+// instead of the paper-calibrated reference server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	atm "repro"
+	"repro/internal/manage"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "characterize":
+		err = cmdCharacterize(args)
+	case "tune":
+		err = cmdTune(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "transient":
+		err = cmdTransient(args)
+	case "status":
+		err = cmdStatus(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|transient|status> [flags]
+run "atmctl <subcommand> -h" for flags`)
+	os.Exit(2)
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	st, err := m.Solve()
+	if err != nil {
+		return err
+	}
+	for _, cs := range st.Chips {
+		t := &report.Table{
+			Title: fmt.Sprintf("%s: %.1f W, %.3f V (drop %.1f mV), %.1f °C, in budget: %v",
+				cs.Label, float64(cs.Power), float64(cs.Supply),
+				cs.DCDrop.Millivolts(), float64(cs.TempC), cs.InBudget),
+			Header: []string{"core", "mode", "reduction", "workload", "freq (MHz)", "power (W)"},
+		}
+		for _, c := range cs.Cores {
+			gate := ""
+			if c.Gated {
+				gate = " (gated)"
+			}
+			t.AddRow(c.Label, c.Mode.String()+gate, fmt.Sprintf("%d", c.Reduction),
+				c.Workload, report.F(float64(c.Freq), 0), report.F(float64(c.Power), 2))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// machineFlag adds the -generated flag and returns a machine builder.
+func machineFlag(fs *flag.FlagSet) func() (*atm.Machine, error) {
+	seed := fs.Uint64("generated", 0, "use Monte-Carlo silicon with this seed (0 = paper reference)")
+	return func() (*atm.Machine, error) {
+		if *seed == 0 {
+			return atm.NewReferenceMachine(), nil
+		}
+		profile, err := atm.GenerateSilicon(*seed, atm.GenerateOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return atm.NewMachine(profile)
+	}
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	trials := fs.Int("trials", 10, "repeated trials per (core, workload)")
+	seed := fs.Uint64("seed", 1, "trial seed")
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	rep, err := atm.Characterize(m, atm.CharactOptions{Trials: *trials, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "ATM reconfiguration limits",
+		Header: []string{"core", "idle", "uBench", "thread normal", "thread worst", "idle freq (MHz)"},
+	}
+	for _, c := range rep.Cores {
+		t.AddRow(c.Core,
+			fmt.Sprintf("%d", c.Idle.Limit), fmt.Sprintf("%d", c.UBenchLimit),
+			fmt.Sprintf("%d", c.ThreadNormal), fmt.Sprintf("%d", c.ThreadWorst),
+			report.F(float64(c.IdleFreq), 0))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	rollback := fs.Int("rollback", 0, "safety steps below the stress-test limit")
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	dep, err := atm.Deploy(m, atm.DeployOptions{Rollback: *rollback})
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Test-time stress-test deployment",
+		Header: []string{"core", "stress limit", "deployed reduction", "idle freq (MHz)", "loaded freq (MHz)"},
+		Note:   fmt.Sprintf("inter-core speed differential: %.0f MHz", dep.SpeedDifferentialMHz()),
+	}
+	for _, cfg := range dep.Configs {
+		t.AddRow(cfg.Core, fmt.Sprintf("%d", cfg.StressLimit), fmt.Sprintf("%d", cfg.Reduction),
+			report.F(float64(cfg.IdleFreq), 0), report.F(float64(cfg.LoadedFreq), 0))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	critName := fs.String("critical", "squeezenet", "critical (latency-sensitive) workload")
+	bgName := fs.String("background", "lu_cb", "background co-runner")
+	scen := fs.String("scenario", "managed-balanced",
+		"static-margin | default-atm | fine-tuned-unmanaged | managed-max | managed-balanced")
+	qos := fs.Float64("qos", 0.10, "balanced-mode improvement target over static margin")
+	governor := fs.String("governor", "default", "default | conservative | aggressive")
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	crit, err := atm.WorkloadByName(*critName)
+	if err != nil {
+		return err
+	}
+	bg, err := atm.WorkloadByName(*bgName)
+	if err != nil {
+		return err
+	}
+	scenario, err := manage.ScenarioByName(*scen)
+	if err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	rep, err := atm.Characterize(m, atm.CharactOptions{})
+	if err != nil {
+		return err
+	}
+	dep, err := atm.Deploy(m, atm.DeployOptions{})
+	if err != nil {
+		return err
+	}
+	mgr, err := atm.NewManager(m, dep, rep)
+	if err != nil {
+		return err
+	}
+	switch *governor {
+	case "default":
+		mgr.Governor = atm.GovernorDefault
+	case "conservative":
+		mgr.Governor = atm.GovernorConservative
+	case "aggressive":
+		mgr.Governor = atm.GovernorAggressive
+	default:
+		return fmt.Errorf("unknown governor %q", *governor)
+	}
+	ev, err := mgr.Evaluate(scenario, atm.Pair{Critical: crit, Background: bg}, *qos)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{Title: fmt.Sprintf("Schedule %s under %s", ev.Pair.Label(), ev.Scenario)}
+	t.Header = []string{"metric", "value"}
+	t.AddRow("critical core", ev.CriticalCore)
+	t.AddRow("critical frequency", fmt.Sprintf("%.0f MHz", float64(ev.CriticalFreq)))
+	t.AddRow("critical improvement", report.Pct(ev.Improvement()))
+	if ev.CriticalLatencyMs > 0 {
+		t.AddRow("critical latency", fmt.Sprintf("%.1f ms", ev.CriticalLatencyMs))
+	}
+	t.AddRow("background setting", ev.BackgroundSetting)
+	t.AddRow("background performance", report.Pct(ev.BackgroundPerf-1))
+	t.AddRow("chip power", fmt.Sprintf("%.1f W", float64(ev.ChipPower)))
+	t.AddRow("supply", fmt.Sprintf("%.3f V", float64(ev.Supply)))
+	if ev.QoSTarget > 0 {
+		t.AddRow("power budget", fmt.Sprintf("%.1f W", float64(ev.PowerBudget)))
+		t.AddRow("meets QoS", fmt.Sprintf("%v (target %s)", ev.MeetsQoS, report.Pct(ev.QoSTarget)))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	label := fs.String("core", "P0C3", "core to sweep")
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	core, err := m.Core(*label)
+	if err != nil {
+		return err
+	}
+	st, err := m.Solve()
+	if err != nil {
+		return err
+	}
+	cs, err := st.ChipState((*label)[:2])
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Frequency vs CPM delay reduction — %s (idle supply %.3f V)", *label, float64(cs.Supply)),
+		Header: []string{"reduction", "settled freq (MHz)", "guard (ps)"},
+	}
+	for r := 0; r <= core.Profile.MaxReduction(); r++ {
+		f, err := core.Profile.SettledFreq(r, cs.Supply)
+		if err != nil {
+			return err
+		}
+		g, err := core.Profile.GuardPs(r)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%d", r), report.F(float64(f), 0), report.F(float64(g), 1))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdTransient(args []string) error {
+	fs := flag.NewFlagSet("transient", flag.ExitOnError)
+	chipLabel := fs.String("chip", "P0", "chip to step")
+	steps := fs.Int("steps", 2000, "control intervals")
+	stress := fs.Bool("stress", false, "run x264 on every core instead of idle")
+	seed := fs.Uint64("seed", 1, "noise seed")
+	csvPath := fs.String("csv", "", "write the full telemetry trace to this file")
+	build := machineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := build()
+	if err != nil {
+		return err
+	}
+	if *stress {
+		for _, c := range m.AllCores() {
+			c.SetWorkload(workload.X264)
+		}
+	}
+	res, err := m.Transient(*chipLabel, *steps, 1.0, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		rec, err := telemetry.RecordTransient(m, *chipLabel, res)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if lo, err := rec.MinSupply(); err == nil {
+			fmt.Printf("trace written to %s (deepest supply excursion %.1f mV)\n", *csvPath, lo.Millivolts())
+		}
+	}
+	st, err := m.Solve()
+	if err != nil {
+		return err
+	}
+	cs, err := st.ChipState(*chipLabel)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Transient %s: %d intervals, %d margin violations", *chipLabel, *steps, res.Violations),
+		Header: []string{"core", "loop mean freq (MHz)", "analytic settle (MHz)"},
+	}
+	for i, f := range res.MeanFreq {
+		t.AddRow(cs.Cores[i].Label, report.F(float64(f), 0), report.F(float64(cs.Cores[i].Freq), 0))
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,88 @@
+// Command atmfigures regenerates the paper's tables and figures from
+// the simulated POWER7+ platform.
+//
+// Usage:
+//
+//	atmfigures                 # regenerate everything, text format
+//	atmfigures -id fig7        # one artifact
+//	atmfigures -csv            # CSV output
+//	atmfigures -list           # list artifact IDs
+//	atmfigures -generated 42   # run on Monte-Carlo silicon (seed 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	atm "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "", "regenerate a single artifact (e.g. table1, fig7)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list      = flag.Bool("list", false, "list artifact IDs and exit")
+		generated = flag.Uint64("generated", 0, "run on generated silicon with this seed instead of the paper-calibrated reference")
+		ext       = flag.Bool("ext", false, "also regenerate the extension studies (undervolt, Monte-Carlo, ablations)")
+	)
+	flag.Parse()
+
+	opts := atm.SuiteOptions{}
+	if *generated != 0 {
+		profile, err := atm.GenerateSilicon(*generated, atm.GenerateOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Profile = profile
+	}
+	suite, err := atm.NewSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	experiments := suite.Experiments()
+	if *ext {
+		experiments = append(experiments, suite.ExtensionExperiments()...)
+	}
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-22s %s\n", e.ID, e.Caption)
+		}
+		return
+	}
+
+	emit := func(a *report.Artifact) {
+		var err error
+		if *csv {
+			err = a.RenderCSV(os.Stdout)
+		} else {
+			err = a.Render(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *id != "" {
+		a, err := suite.RunExperiment(*id)
+		if err != nil {
+			fatal(err)
+		}
+		emit(a)
+		return
+	}
+	for _, e := range experiments {
+		a, err := e.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		emit(a)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atmfigures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command atmfsp serves the service-processor operator protocol on
+// stdio, so the fine-tuning procedures can be driven by a shell script
+// exactly as they would be on the test floor:
+//
+//	$ printf 'cpm P0C3 6\nfreq P0C3\nchip P0\nquit\n' | atmfsp
+//	ok
+//	ok 4905 MHz
+//	ok power=55.9W supply=1250mV temp=40.7C budget=1
+//	ok bye
+//
+// Run with -generated <seed> to control Monte-Carlo silicon instead of
+// the paper-calibrated reference server, or with -listen <addr> to serve
+// the protocol over TCP (one shared machine, sessions serialized):
+//
+//	atmfsp -listen 127.0.0.1:7077 &
+//	printf 'freq P0C3\nquit\n' | nc 127.0.0.1 7077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	atm "repro"
+	"repro/internal/fsp"
+)
+
+func main() {
+	seed := flag.Uint64("generated", 0, "use Monte-Carlo silicon with this seed (0 = paper reference)")
+	listen := flag.String("listen", "", "serve the protocol on this TCP address instead of stdio")
+	flag.Parse()
+
+	var m *atm.Machine
+	if *seed == 0 {
+		m = atm.NewReferenceMachine()
+	} else {
+		profile, err := atm.GenerateSilicon(*seed, atm.GenerateOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		mm, err := atm.NewMachine(profile)
+		if err != nil {
+			fatal(err)
+		}
+		m = mm
+	}
+	ctl := fsp.NewController(m)
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "atmfsp: serving on", l.Addr())
+		if err := fsp.NewServer(ctl).Serve(l); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := fsp.NewSession(ctl).Serve(os.Stdin, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atmfsp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Stresstest: the Sec. VII-A test-time deployment procedure. Run the
+// worst-case battery — power virus, ISA sweep, and the synchronized
+// issue-throttle voltage virus — against every core, find the limit
+// configurations, and watch the control loop ride out the virus's di/dt
+// noise in a cycle-approximate transient.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	atm "repro"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	m := atm.NewReferenceMachine()
+
+	// The battery the procedure runs, in order.
+	fmt.Println("test-time stress battery:")
+	for _, mark := range workload.TestTimeSuite() {
+		fmt.Printf("  %-13s Cdyn %.2f, stress %.2f, sync=%v\n",
+			mark.Profile.Name, mark.Profile.CdynRel, mark.Profile.StressScore, mark.Synchronized)
+	}
+	virus := atm.VoltageVirus()
+	fmt.Printf("voltage virus recipe: issue 1/%d cycles, %d SMT threads/core, synchronized\n\n",
+		virus.ThrottlePeriod, virus.ThreadsPerCore)
+
+	// Deploy at the stress-test limit, and once more with a 2-step
+	// safety rollback (the vendor option of Fig. 11).
+	dep, err := atm.Deploy(m, atm.DeployOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := atm.NewReferenceMachine()
+	depSafe, err := atm.Deploy(m2, atm.DeployOptions{Rollback: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title:  "Deployed configurations (Fig. 11)",
+		Header: []string{"core", "stress limit", "idle MHz @limit", "idle MHz @rollback-2"},
+		Note:   fmt.Sprintf("speed differential at the limit: %.0f MHz", dep.SpeedDifferentialMHz()),
+	}
+	for _, cfg := range dep.Configs {
+		safe, _ := depSafe.Config(cfg.Core)
+		t.AddRow(cfg.Core, fmt.Sprintf("%d", cfg.StressLimit),
+			report.F(float64(cfg.IdleFreq), 0), report.F(float64(safe.IdleFreq), 0))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the paper's claim on the deployed machine: thread-worst /
+	// stress-limit configurations sustain the virus.
+	src := rng.New(7)
+	failures := 0
+	for _, core := range m.AllCores() {
+		for i := 0; i < 20; i++ {
+			res, err := m.RunStressmark(core.Profile.Label, virus, src.SplitIndex(core.Profile.Label, i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.OK() {
+				failures++
+			}
+		}
+	}
+	fmt.Printf("virus re-runs at deployed configs: %d/320 failures (expected 0)\n\n", failures)
+
+	// Transient view: the per-core DPLL loops under chip-wide daxpy
+	// load with virus-grade di/dt events.
+	for _, core := range m.AllCores() {
+		core.SetWorkload(workload.Daxpy)
+	}
+	res, err := m.Transient("P0", 3000, 1.0, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := m.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := st.Chips[0]
+	fmt.Printf("transient under full daxpy load: %d control intervals, %d margin violations handled\n",
+		len(res.Samples), res.Violations)
+	fmt.Printf("chip: %.1f W, %.3f V, %.1f °C (envelope ≤70 °C: %v)\n",
+		float64(cs.Power), float64(cs.Supply), float64(cs.TempC), cs.InBudget)
+	for i, f := range res.MeanFreq {
+		fmt.Printf("  %s loop mean %.0f MHz (analytic %.0f MHz)\n",
+			cs.Cores[i].Label, float64(f), float64(cs.Cores[i].Freq))
+	}
+}

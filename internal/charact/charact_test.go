@@ -1,0 +1,154 @@
+package charact
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/silicon"
+	"repro/internal/workload"
+)
+
+// newReportT runs the full methodology on the reference machine once per
+// test binary (it is the expensive fixture shared by several tests).
+var refReport *Report
+
+func referenceReport(t *testing.T) *Report {
+	t.Helper()
+	if refReport != nil {
+		return refReport
+	}
+	m := chip.NewReference()
+	rep, err := Characterize(m, Options{})
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	refReport = rep
+	return rep
+}
+
+// TestTableIMatchesPaper is the headline reproduction check: running the
+// paper's methodology against the calibrated silicon rediscovers every
+// cell of Table I.
+func TestTableIMatchesPaper(t *testing.T) {
+	rep := referenceReport(t)
+	for _, row := range rep.TableI() {
+		idle, ub, normal, worst, ok := silicon.ReferenceTableI(row.Core)
+		if !ok {
+			t.Fatalf("no reference row for %s", row.Core)
+		}
+		if row.Idle != idle || row.UBench != ub || row.Normal != normal || row.Worst != worst {
+			t.Errorf("%s: measured %d/%d/%d/%d, paper %d/%d/%d/%d",
+				row.Core, row.Idle, row.UBench, row.Normal, row.Worst,
+				idle, ub, normal, worst)
+		}
+	}
+}
+
+// TestIdleDistributionsTight verifies the Fig. 7 property: idle limit
+// distributions cover no more than two configurations.
+func TestIdleDistributionsTight(t *testing.T) {
+	rep := referenceReport(t)
+	for _, c := range rep.Cores {
+		if !c.Idle.Tight() {
+			t.Errorf("%s: idle distribution spread %d > 1 (support %v)",
+				c.Core, c.Idle.Hist.Spread(), c.Idle.Hist.Support())
+		}
+	}
+}
+
+// TestIdleFrequenciesExceedDefault verifies the Sec. IV-A headline: at
+// the idle limit most cores exceed 5 GHz and every core beats the
+// 4.6 GHz default and the 4.2 GHz static baseline.
+func TestIdleFrequenciesExceedDefault(t *testing.T) {
+	rep := referenceReport(t)
+	over5000 := 0
+	for _, c := range rep.Cores {
+		if c.IdleFreq <= 4600 {
+			t.Errorf("%s: idle-limit frequency %v does not beat default ATM", c.Core, c.IdleFreq)
+		}
+		if c.IdleFreq > 5000 {
+			over5000++
+		}
+	}
+	if over5000 < len(rep.Cores)/2 {
+		t.Errorf("only %d/%d cores exceed 5000 MHz at the idle limit; paper: more than half",
+			over5000, len(rep.Cores))
+	}
+}
+
+// TestSixCoresRollBackUnderUBench verifies the Sec. V-B finding: exactly
+// six cores need a uBench rollback from their idle limit, by one to
+// three steps.
+func TestSixCoresRollBackUnderUBench(t *testing.T) {
+	rep := referenceReport(t)
+	failing := 0
+	for _, c := range rep.Cores {
+		rb := c.Idle.Limit - c.UBenchLimit
+		if rb < 0 {
+			t.Fatalf("%s: negative uBench rollback %d", c.Core, rb)
+		}
+		if rb > 0 {
+			failing++
+			if rb > 3 {
+				t.Errorf("%s: uBench rollback %d exceeds the 1–3 range", c.Core, rb)
+			}
+		}
+	}
+	if failing != 6 {
+		t.Errorf("got %d cores with uBench rollback, paper reports 6", failing)
+	}
+}
+
+// TestStressOrdering verifies the Fig. 9/10 row structure: x264 demands
+// at least as much rollback as gcc on every core, and strictly more in
+// aggregate.
+func TestStressOrdering(t *testing.T) {
+	rep := referenceReport(t)
+	var sumX264, sumGCC float64
+	for _, c := range rep.Cores {
+		x := c.AppRollbackMean["x264"]
+		g := c.AppRollbackMean["gcc"]
+		if x < g-1e-9 {
+			t.Errorf("%s: x264 rollback %.2f below gcc %.2f", c.Core, x, g)
+		}
+		sumX264 += x
+		sumGCC += g
+	}
+	if sumX264 <= sumGCC {
+		t.Errorf("aggregate x264 rollback %.2f not above gcc %.2f", sumX264, sumGCC)
+	}
+}
+
+// TestRobustCoresNeedNoRollback verifies the Fig. 10 column structure:
+// the most robust cores take zero rollback for every application.
+func TestRobustCoresNeedNoRollback(t *testing.T) {
+	rep := referenceReport(t)
+	rank := rep.RobustnessRank()
+	mostRobust := rank[len(rank)-1]
+	c, ok := rep.Core(mostRobust)
+	if !ok {
+		t.Fatalf("missing core %s", mostRobust)
+	}
+	for app, rb := range c.AppRollbackMean {
+		if rb > 0.2 {
+			t.Errorf("most robust core %s rolls back %.2f for %s", mostRobust, rb, app)
+		}
+	}
+}
+
+// TestFindLimitRestoresDefault verifies searches leave the machine at
+// the default configuration.
+func TestFindLimitRestoresDefault(t *testing.T) {
+	m := chip.NewReference()
+	if _, err := Characterize(m, Options{Trials: 2, Apps: []workload.Profile{workload.GCC}}); err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	for _, c := range m.AllCores() {
+		if c.Reduction() != 0 {
+			t.Errorf("%s left at reduction %d", c.Profile.Label, c.Reduction())
+		}
+	}
+}

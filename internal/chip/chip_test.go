@@ -1,0 +1,437 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestNewReferenceBuilds(t *testing.T) {
+	m := NewReference()
+	if len(m.Chips) != 2 {
+		t.Fatalf("machine has %d chips", len(m.Chips))
+	}
+	if len(m.AllCores()) != 16 {
+		t.Fatalf("machine has %d cores", len(m.AllCores()))
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	srv := silicon.Reference()
+	opts := Options{Power: DefaultPowerModel()}
+	opts.Power.CdynMaxWPerGHz = -1
+	if _, err := New(srv, opts); err == nil {
+		t.Error("bad power model accepted")
+	}
+}
+
+func TestCoreLookup(t *testing.T) {
+	m := NewReference()
+	c, err := m.Core("P1C5")
+	if err != nil || c.Profile.Label != "P1C5" {
+		t.Fatalf("Core lookup failed: %v", err)
+	}
+	if _, err := m.Core("P5C0"); err == nil {
+		t.Error("bogus core label accepted")
+	}
+	ch, err := m.ChipOf("P1C5")
+	if err != nil || ch.Profile.Label != "P1" {
+		t.Fatalf("ChipOf failed: %v", err)
+	}
+	if _, err := m.ChipOf("nope"); err == nil {
+		t.Error("bogus ChipOf label accepted")
+	}
+}
+
+func TestIdleOperatingPoint(t *testing.T) {
+	m := NewReference()
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range st.Chips {
+		// Idle chip: ~50–65 W, supply pinned near VRef by VRM
+		// calibration, all cores near the 4.6 GHz default.
+		if cs.Power < 45 || cs.Power > 70 {
+			t.Errorf("%s idle power %v outside 45–70 W", cs.Label, cs.Power)
+		}
+		if math.Abs(float64(cs.Supply-1.25)) > 0.004 {
+			t.Errorf("%s idle supply %v, want ≈1.25 V", cs.Label, cs.Supply)
+		}
+		if !cs.InBudget {
+			t.Errorf("%s idle outside thermal envelope", cs.Label)
+		}
+		for _, core := range cs.Cores {
+			if core.Freq < 4500 || core.Freq > 4700 {
+				t.Errorf("%s idle frequency %v outside the default-ATM band", core.Label, core.Freq)
+			}
+		}
+	}
+}
+
+func TestStressOperatingPoint(t *testing.T) {
+	m := NewReference()
+	for _, core := range m.AllCores() {
+		core.SetWorkload(workload.Daxpy)
+	}
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Chips[0]
+	// The paper's stress corner: ≈160 W, ≈70 °C.
+	if cs.Power < 140 || cs.Power > 185 {
+		t.Errorf("stress power %v outside 140–185 W", cs.Power)
+	}
+	if cs.TempC < 60 || cs.TempC > 75 {
+		t.Errorf("stress temperature %v outside 60–75 °C", cs.TempC)
+	}
+	// The DC drop must reduce every core's ATM frequency vs idle.
+	m2 := NewReference()
+	idle, err := m2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, core := range cs.Cores {
+		if core.Freq >= idle.Chips[0].Cores[i].Freq {
+			t.Errorf("%s frequency did not drop under load", core.Label)
+		}
+	}
+}
+
+func TestReductionRaisesFrequency(t *testing.T) {
+	m := NewReference()
+	base, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ProgramCPM("P0C3", 6); err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBase, _ := base.CoreState("P0C3")
+	fTuned, _ := tuned.CoreState("P0C3")
+	if fTuned.Freq <= fBase.Freq+100 {
+		t.Errorf("6-step reduction moved %v → %v; expected a large gain", fBase.Freq, fTuned.Freq)
+	}
+	if fTuned.Reduction != 6 {
+		t.Errorf("state reports reduction %d", fTuned.Reduction)
+	}
+}
+
+func TestStaticModePinsPState(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C0")
+	core.SetMode(ModeStatic)
+	if err := core.SetPState(3700); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.AllCores() {
+		c.SetWorkload(workload.Daxpy) // heavy load must not move a static core
+	}
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := st.CoreState("P0C0")
+	if cs.Freq != 3700 {
+		t.Errorf("static core at %v, want 3700", cs.Freq)
+	}
+	if cs.Mode != ModeStatic {
+		t.Errorf("state mode = %v", cs.Mode)
+	}
+}
+
+func TestSetPStateValidation(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C0")
+	if err := core.SetPState(3456); err == nil {
+		t.Error("off-ladder p-state accepted")
+	}
+	for _, ps := range PStates {
+		if err := core.SetPState(ps); err != nil {
+			t.Errorf("ladder p-state %v rejected: %v", ps, err)
+		}
+	}
+}
+
+func TestNearestPState(t *testing.T) {
+	cases := []struct {
+		in, want units.MHz
+	}{{4200, 4200}, {4199, 4000}, {2050, 2100}, {9999, 4200}, {3699, 3300}}
+	for _, c := range cases {
+		if got := NearestPState(c.in); got != c.want {
+			t.Errorf("NearestPState(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGatingRemovesCore(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C7")
+	core.SetGated(true)
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := st.CoreState("P0C7")
+	if cs.Freq != 0 || !cs.Gated {
+		t.Errorf("gated core state: freq=%v gated=%v", cs.Freq, cs.Gated)
+	}
+	// Gating must lower chip power vs all-ungated idle.
+	m2 := NewReference()
+	base, _ := m2.Solve()
+	if st.Chips[0].Power >= base.Chips[0].Power {
+		t.Error("gating did not reduce chip power")
+	}
+}
+
+func TestATMNeverBelowPState(t *testing.T) {
+	m := NewReference()
+	// Even under maximum load, an ATM core's settled frequency stays at
+	// or above its p-state floor.
+	for _, core := range m.AllCores() {
+		core.SetWorkload(workload.Daxpy)
+	}
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range st.Chips {
+		for _, cs := range ch.Cores {
+			if cs.Freq < PStateMax {
+				t.Errorf("%s ATM frequency %v under the p-state floor", cs.Label, cs.Freq)
+			}
+		}
+	}
+}
+
+func TestSolveStateConsistency(t *testing.T) {
+	m := NewReference()
+	for i, core := range m.AllCores() {
+		if i%2 == 0 {
+			core.SetWorkload(workload.X264)
+		}
+	}
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, cs := range st.Chips {
+		// Reported chip power must equal uncore + Σ core powers.
+		sum := m.Power().UncoreW
+		for _, c := range cs.Cores {
+			sum += c.Power
+		}
+		if math.Abs(float64(sum-cs.Power)) > 0.5 {
+			t.Errorf("chip %d power inconsistent: %v vs Σ %v", ci, cs.Power, sum)
+		}
+		// And the supply must satisfy the loadline at that power.
+		want := m.Chips[ci].PDN.SteadyVoltage(cs.Power)
+		if math.Abs(float64(want-cs.Supply)) > 1e-3 {
+			t.Errorf("chip %d supply inconsistent: %v vs loadline %v", ci, cs.Supply, want)
+		}
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C2")
+	core.SetWorkload(workload.MCF)
+	core.SetMode(ModeStatic)
+	core.SetGated(true)
+	if err := m.ProgramCPM("P0C3", 4); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetAll()
+	for _, c := range m.AllCores() {
+		if c.Reduction() != 0 || c.Mode() != ModeATM || c.Gated() ||
+			c.Workload().Name != "idle" || c.PState() != PStateMax {
+			t.Errorf("%s not reset: %+v", c.Profile.Label, c)
+		}
+	}
+}
+
+func TestTrialAtDefaultNeverFails(t *testing.T) {
+	m := NewReference()
+	src := rng.New(2)
+	for _, core := range m.AllCores() {
+		pass, fail, first, err := m.RunTrials(core.Profile.Label, workload.X264, 50, src.Split(core.Profile.Label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail != 0 {
+			t.Errorf("%s failed %d/50 trials at the default config (%v)", core.Profile.Label, fail, first.Failure)
+		}
+		if pass != 50 {
+			t.Errorf("%s pass count %d", core.Profile.Label, pass)
+		}
+	}
+}
+
+func TestTrialBeyondLimitFails(t *testing.T) {
+	m := NewReference()
+	src := rng.New(3)
+	for _, core := range m.AllCores() {
+		label := core.Profile.Label
+		_, _, _, _ = label, core, src, m
+		_, _, worstLim, _, ok := silicon.ReferenceTableI(label)
+		if !ok {
+			t.Fatal("missing table row")
+		}
+		if worstLim+2 > core.Profile.MaxReduction() {
+			continue
+		}
+		if err := m.ProgramCPM(label, worstLim+2); err != nil {
+			t.Fatal(err)
+		}
+		_, fail, _, err := m.RunTrials(label, workload.X264, 20, src.Split(label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail == 0 {
+			t.Errorf("%s survived 20 trials two steps past thread-worst", label)
+		}
+		if err := m.ProgramCPM(label, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTrialUnderStaticMarginAlwaysPasses(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C0")
+	core.SetMode(ModeStatic)
+	// Program an absurdly aggressive CPM config: irrelevant under
+	// static margin.
+	if err := m.ProgramCPM("P0C0", core.Profile.MaxReduction()); err != nil {
+		t.Fatal(err)
+	}
+	_, fail, _, err := m.RunTrials("P0C0", workload.X264, 50, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != 0 {
+		t.Errorf("static margin failed %d trials", fail)
+	}
+}
+
+func TestSDCDetectionNeedsChecker(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C7")
+	if err := m.ProgramCPM("P0C7", core.Profile.MaxReduction()); err != nil {
+		t.Fatal(err)
+	}
+	noChecker := workload.X264
+	noChecker.HasChecker = false
+	src := rng.New(5)
+	sawUndetectedSDC := false
+	sawDetected := false
+	for i := 0; i < 300; i++ {
+		r, err := m.RunTrial("P0C7", noChecker, src.SplitIndex("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case r.Failure == FailureSDC && !r.Detected:
+			sawUndetectedSDC = true
+		case r.Failure != FailureNone && r.Detected:
+			sawDetected = true
+		case r.Failure == FailureSDC && r.Detected:
+			t.Error("SDC detected without a checker")
+		}
+	}
+	if !sawUndetectedSDC || !sawDetected {
+		t.Errorf("failure mix missing kinds: undetectedSDC=%v detected=%v", sawUndetectedSDC, sawDetected)
+	}
+}
+
+func TestFailureKindStrings(t *testing.T) {
+	if FailureNone.String() != "ok" || FailureSDC.String() != "sdc" ||
+		FailureSegfault.String() != "abnormal-exit" || FailureSystemCrash.String() != "system-crash" {
+		t.Error("failure kind strings wrong")
+	}
+	if ModeStatic.String() != "static" || ModeATM.String() != "atm" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestRunStressmarkValidates(t *testing.T) {
+	m := NewReference()
+	bad := workload.VoltageVirus()
+	bad.ThreadsPerCore = 9
+	if _, err := m.RunStressmark("P0C0", bad, rng.New(1)); err == nil {
+		t.Error("invalid stressmark accepted")
+	}
+}
+
+func TestTransientMatchesSolve(t *testing.T) {
+	m := NewReference()
+	res, err := m.Transient("P0", 3000, 1.0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cs := range st.Chips[0].Cores {
+		// The loop-level mean frequency must sit near the analytic
+		// steady state (within ~1.5% — droops and slew transients eat
+		// a little).
+		diff := math.Abs(float64(res.MeanFreq[i]-cs.Freq)) / float64(cs.Freq)
+		if diff > 0.015 {
+			t.Errorf("%s transient mean %v vs solve %v (%.2f%%)",
+				cs.Label, res.MeanFreq[i], cs.Freq, diff*100)
+		}
+	}
+	if len(res.Samples) != 3000 {
+		t.Errorf("sample count %d", len(res.Samples))
+	}
+}
+
+func TestTransientViolationsUnderStress(t *testing.T) {
+	m := NewReference()
+	// Aggressive config + stressful workload: the transient must show
+	// the emergency path engaging at least occasionally.
+	for _, core := range m.Chips[0].Cores {
+		core.SetWorkload(workload.X264)
+	}
+	if err := m.ProgramCPM("P0C3", 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Transient("P0", 4000, 1.0, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleRes, err2 := func() (TransientResult, error) {
+		m2 := NewReference()
+		return m2.Transient("P0", 4000, 1.0, rng.New(7))
+	}()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if res.Violations <= idleRes.Violations {
+		t.Logf("stress violations %d, idle %d (acceptable but unusual)", res.Violations, idleRes.Violations)
+	}
+}
+
+func TestTransientArgsValidated(t *testing.T) {
+	m := NewReference()
+	if _, err := m.Transient("P7", 100, 1, rng.New(1)); err == nil {
+		t.Error("bogus chip label accepted")
+	}
+	if _, err := m.Transient("P0", 0, 1, rng.New(1)); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := m.Transient("P0", 10, -1, rng.New(1)); err == nil {
+		t.Error("negative dt accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// KernelTrialResult extends a trial with the executed kernel's verdict:
+// for the micro-benchmarks the methodology does not merely *model* the
+// result checker — it runs the kernel and checks the checksum, with the
+// simulator injecting the corruption a timing violation would cause.
+type KernelTrialResult struct {
+	TrialResult
+	// Checksum is the kernel's (possibly corrupted) output.
+	Checksum uint64
+	// CheckerCaught reports whether the checksum comparison detected a
+	// corruption.
+	CheckerCaught bool
+}
+
+// RunKernelTrial runs one micro-benchmark trial on the labelled core at
+// its current configuration, actually executing the kernel body:
+//
+//   - a clean run returns the kernel's true checksum;
+//   - a run that the failure model marks as SDC executes the kernel and
+//     then flips bits in its output — the checker catches it;
+//   - crashes and abnormal exits return no checksum (the paper counts
+//     these as directly observable failures).
+//
+// size scales the kernel's work (and wall-clock time) without affecting
+// the failure model.
+func (m *Machine) RunKernelTrial(label, kernelName string, size int, src *rng.Source) (KernelTrialResult, error) {
+	k, ok := workload.KernelFor(kernelName)
+	if !ok {
+		return KernelTrialResult{}, fmt.Errorf("chip: %q has no executable kernel", kernelName)
+	}
+	profile, err := workload.ByName(kernelName)
+	if err != nil {
+		return KernelTrialResult{}, err
+	}
+	tr, err := m.RunTrial(label, profile, src)
+	if err != nil {
+		return KernelTrialResult{}, err
+	}
+	res := KernelTrialResult{TrialResult: tr}
+	switch tr.Failure {
+	case FailureNone:
+		res.Checksum = k.Run(size)
+		res.CheckerCaught = false
+	case FailureSDC:
+		// Execute, then corrupt the way a latched timing violation
+		// would: a single flipped datum cascades into the checksum.
+		res.Checksum = k.Run(size) ^ (1 << (src.Intn(64)))
+		res.CheckerCaught = res.Checksum != k.Expected(size)
+	default:
+		// Crash/abnormal exit: no result produced.
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestKernelTrialCleanRun(t *testing.T) {
+	m := NewReference()
+	k, _ := workload.KernelFor("daxpy")
+	res, err := m.RunKernelTrial("P0C0", "daxpy", 128, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("default-config kernel trial failed: %v", res.Failure)
+	}
+	if res.Checksum != k.Expected(128) {
+		t.Error("clean run returned a wrong checksum")
+	}
+	if res.CheckerCaught {
+		t.Error("checker flagged a clean run")
+	}
+}
+
+func TestKernelTrialSDCIsCaught(t *testing.T) {
+	m := NewReference()
+	core, _ := m.Core("P0C7")
+	// Program far beyond the limit so failures are certain, and sample
+	// until an SDC manifestation appears.
+	if err := m.ProgramCPM("P0C7", core.Profile.MaxReduction()); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	sawSDC := false
+	for i := 0; i < 200 && !sawSDC; i++ {
+		res, err := m.RunKernelTrial("P0C7", "coremark", 32, src.SplitIndex("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure == FailureSDC {
+			sawSDC = true
+			if !res.CheckerCaught {
+				t.Error("injected SDC escaped the kernel's checker")
+			}
+			k, _ := workload.KernelFor("coremark")
+			if res.Checksum == k.Expected(32) {
+				t.Error("SDC run returned the correct checksum")
+			}
+		}
+		if res.Failure == FailureSegfault || res.Failure == FailureSystemCrash {
+			if res.Checksum != 0 {
+				t.Error("crashed run produced a checksum")
+			}
+		}
+	}
+	if !sawSDC {
+		t.Error("no SDC manifestation in 200 beyond-limit trials")
+	}
+}
+
+func TestKernelTrialUnknownKernel(t *testing.T) {
+	m := NewReference()
+	if _, err := m.RunKernelTrial("P0C0", "gcc", 10, rng.New(1)); err == nil {
+		t.Error("profile-only workload accepted as kernel")
+	}
+	if _, err := m.RunKernelTrial("P9C9", "daxpy", 10, rng.New(1)); err == nil {
+		t.Error("bogus core accepted")
+	}
+}

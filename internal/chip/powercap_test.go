@@ -1,0 +1,100 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCapGenerousKeepsATM(t *testing.T) {
+	m := NewReference()
+	res, err := m.SolveCapped("P0", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ATMKept || !res.Met {
+		t.Errorf("generous cap throttled the chip: %+v", res)
+	}
+	// The machine is untouched.
+	for _, core := range m.Chips[0].Cores {
+		if core.Mode() != ModeATM {
+			t.Errorf("%s left in %v", core.Profile.Label, core.Mode())
+		}
+	}
+}
+
+func TestCapThrottlesLoadedChip(t *testing.T) {
+	m := NewReference()
+	for _, core := range m.Chips[0].Cores {
+		core.SetWorkload(workload.Daxpy)
+	}
+	res, err := m.SolveCapped("P0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ATMKept {
+		t.Fatal("100 W cap kept full ATM under 8×daxpy")
+	}
+	if !res.Met {
+		t.Fatalf("cap not met: %+v", res)
+	}
+	if res.Power > 100 {
+		t.Errorf("capped power %v above the budget", res.Power)
+	}
+	if res.PState >= PStateMax {
+		t.Errorf("throttled p-state %v not below the top", res.PState)
+	}
+	// The chosen p-state is the *fastest* that fits: one step up must
+	// exceed the cap.
+	idx := -1
+	for i, p := range PStates {
+		if p == res.PState {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("p-state %v not on the ladder", res.PState)
+	}
+	if idx+1 < len(PStates) {
+		for _, core := range m.Chips[0].Cores {
+			if err := core.SetPState(PStates[idx+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Chips[0].Power <= 100 {
+			t.Errorf("a faster p-state %v also fits the cap (%v); controller chose too low",
+				PStates[idx+1], st.Chips[0].Power)
+		}
+	}
+}
+
+func TestCapImpossible(t *testing.T) {
+	m := NewReference()
+	for _, core := range m.Chips[0].Cores {
+		core.SetWorkload(workload.Daxpy)
+	}
+	res, err := m.SolveCapped("P0", 30) // below uncore + leakage
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Errorf("30 W cap reported met: %+v", res)
+	}
+	if res.PState != PStateMin {
+		t.Errorf("impossible cap should land at the floor, got %v", res.PState)
+	}
+}
+
+func TestCapValidation(t *testing.T) {
+	m := NewReference()
+	if _, err := m.SolveCapped("P7", 100); err == nil {
+		t.Error("bogus chip accepted")
+	}
+	if _, err := m.SolveCapped("P0", 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// CoreState is one core's steady operating point.
+type CoreState struct {
+	Label     string
+	Mode      Mode
+	Reduction int
+	Gated     bool
+	Workload  string
+	Freq      units.MHz
+	Power     units.Watt
+}
+
+// ChipState is one processor's steady operating point.
+type ChipState struct {
+	Label    string
+	Supply   units.Volt
+	DCDrop   units.Volt
+	Power    units.Watt
+	TempC    units.Celsius
+	InBudget bool // within the thermal envelope
+	Cores    []CoreState
+}
+
+// State is the whole machine's operating point.
+type State struct {
+	Chips []ChipState
+}
+
+// CoreState returns the state entry for a core label.
+func (s State) CoreState(label string) (CoreState, error) {
+	for _, c := range s.Chips {
+		for _, cs := range c.Cores {
+			if cs.Label == label {
+				return cs, nil
+			}
+		}
+	}
+	return CoreState{}, fmt.Errorf("chip: no core %q in state", label)
+}
+
+// ChipState returns the state entry for a chip label.
+func (s State) ChipState(label string) (ChipState, error) {
+	for _, c := range s.Chips {
+		if c.Label == label {
+			return c, nil
+		}
+	}
+	return ChipState{}, fmt.Errorf("chip: no chip %q in state", label)
+}
+
+// solveOpts tunes the fixed-point iteration.
+const (
+	solveMaxIter = 200
+	solveTolV    = 1e-7 // volts
+)
+
+// Solve finds the steady operating point of every chip: the fixed point
+// of the frequency ↔ power ↔ voltage ↔ temperature loop.
+//
+// ATM cores settle at the frequency their CPM guard dictates under the
+// shared supply; that frequency sets dynamic power; total power sets the
+// DC drop through the loadline and the junction temperature through the
+// thermal resistance; both feed back into frequency (voltage) and
+// leakage (temperature). The loop is a contraction at sane operating
+// points and converges in a handful of iterations.
+func (m *Machine) Solve() (State, error) {
+	var st State
+	for _, c := range m.Chips {
+		cs, err := m.solveChip(c)
+		if err != nil {
+			return State{}, err
+		}
+		st.Chips = append(st.Chips, cs)
+	}
+	return st, nil
+}
+
+// solveChip runs the fixed point for one chip.
+func (m *Machine) solveChip(c *Chip) (ChipState, error) {
+	p := m.profile.Params()
+	v := p.VRef
+	t := c.Thermal.SteadyTemp(60)
+
+	var (
+		freqs  = make([]units.MHz, len(c.Cores))
+		powers = make([]units.Watt, len(c.Cores))
+		total  units.Watt
+	)
+	for iter := 0; iter < solveMaxIter; iter++ {
+		total = m.power.UncoreW
+		for i, core := range c.Cores {
+			f, err := m.coreFreqAt(core, v)
+			if err != nil {
+				return ChipState{}, err
+			}
+			freqs[i] = f
+			powers[i] = m.power.CorePower(core.work, f, v, c.Thermal, t, core.gated)
+			total += powers[i]
+		}
+		vNew := c.PDN.SteadyVoltage(total)
+		tNew := c.Thermal.SteadyTemp(total)
+		done := math.Abs(float64(vNew-v)) < solveTolV && math.Abs(float64(tNew-t)) < 1e-4
+		// Light damping keeps the leakage/voltage double feedback
+		// monotone even at extreme operating points.
+		v = units.Volt(0.5*float64(v) + 0.5*float64(vNew))
+		t = units.Celsius(0.5*float64(t) + 0.5*float64(tNew))
+		if done {
+			break
+		}
+	}
+
+	cs := ChipState{
+		Label:    c.Profile.Label,
+		Supply:   v,
+		DCDrop:   c.PDN.VNom - v,
+		Power:    total,
+		TempC:    t,
+		InBudget: c.Thermal.WithinEnvelope(total),
+	}
+	for i, core := range c.Cores {
+		cs.Cores = append(cs.Cores, CoreState{
+			Label:     core.Profile.Label,
+			Mode:      core.mode,
+			Reduction: core.Reduction(),
+			Gated:     core.gated,
+			Workload:  core.work.Name,
+			Freq:      freqs[i],
+			Power:     powers[i],
+		})
+	}
+	return cs, nil
+}
+
+// coreFreqAt returns the core's clock at supply voltage v.
+func (m *Machine) coreFreqAt(core *Core, v units.Volt) (units.MHz, error) {
+	if core.gated {
+		return 0, nil
+	}
+	switch core.mode {
+	case ModeStatic:
+		// Static margin: the p-state frequency is guaranteed by the
+		// static guardband regardless of load.
+		return core.pstate, nil
+	case ModeATM:
+		// ATM tunes frequency around the p-state: at the overclocking
+		// setup's full voltage the settle point always sits above it,
+		// and under the undervolting controller it is the quantity the
+		// frequency-target constraint watches.
+		p := m.profile.Params()
+		return p.SettleFreq(core.Monitor.SettleGuardPs(), v), nil
+	default:
+		return 0, fmt.Errorf("chip: core %s in unknown mode %v", core.Profile.Label, core.mode)
+	}
+}

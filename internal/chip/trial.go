@@ -1,0 +1,134 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// FailureKind classifies how a run failed (Sec. III-B: "abnormal
+// application termination (e.g., segmentation fault), silent data
+// corruption (SDC), or a system crash").
+type FailureKind int
+
+// Failure kinds.
+const (
+	FailureNone FailureKind = iota
+	FailureSegfault
+	FailureSDC
+	FailureSystemCrash
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailureNone:
+		return "ok"
+	case FailureSegfault:
+		return "abnormal-exit"
+	case FailureSDC:
+		return "sdc"
+	case FailureSystemCrash:
+		return "system-crash"
+	default:
+		return fmt.Sprintf("failure(%d)", int(k))
+	}
+}
+
+// TrialResult is the outcome of running one workload once on one core at
+// its current CPM configuration.
+type TrialResult struct {
+	Core      string
+	Workload  string
+	Reduction int
+	Failure   FailureKind
+	// Detected reports whether the methodology can observe the failure:
+	// crashes and abnormal exits are always visible; SDC requires the
+	// workload's result checker.
+	Detected bool
+}
+
+// OK reports whether the run completed and verified correctly.
+func (r TrialResult) OK() bool { return r.Failure == FailureNone }
+
+// RunTrial executes one stochastic trial of workload w on the labelled
+// core at its currently programmed CPM reduction.
+//
+// The trial asks the silicon failure model whether the guarded CPM path
+// still covers the true critical path under the workload's uncovered
+// droop tail. On a timing violation, the failure manifestation is drawn
+// from the empirical mix the paper reports; whether it is *detected*
+// depends on the workload's checker (SDCs in checker-less programs
+// escape — which is why the methodology insists on checked workloads).
+func (m *Machine) RunTrial(label string, w workload.Profile, src *rng.Source) (TrialResult, error) {
+	core, err := m.Core(label)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res := TrialResult{
+		Core:      label,
+		Workload:  w.Name,
+		Reduction: core.Reduction(),
+	}
+	if core.mode != ModeATM {
+		// Static margin guards the worst case by construction; a trial
+		// under static margin always passes.
+		res.Detected = true
+		return res, nil
+	}
+	ok, err := core.Profile.SurvivesTrial(core.Reduction(), w.StressScore, src)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if ok {
+		res.Detected = true
+		return res, nil
+	}
+	// Timing violation: draw the manifestation.
+	switch u := src.Float64(); {
+	case u < 0.45:
+		res.Failure = FailureSegfault
+		res.Detected = true
+	case u < 0.75:
+		res.Failure = FailureSystemCrash
+		res.Detected = true
+	default:
+		res.Failure = FailureSDC
+		res.Detected = w.HasChecker
+	}
+	return res, nil
+}
+
+// RunTrials runs n independent trials and returns the number that
+// passed, the number that failed, and the first failing result.
+func (m *Machine) RunTrials(label string, w workload.Profile, n int, src *rng.Source) (pass, fail int, first TrialResult, err error) {
+	for i := 0; i < n; i++ {
+		r, e := m.RunTrial(label, w, src.SplitIndex("trial", i))
+		if e != nil {
+			return 0, 0, TrialResult{}, e
+		}
+		if r.OK() {
+			pass++
+			continue
+		}
+		if fail == 0 {
+			first = r
+		}
+		fail++
+	}
+	return pass, fail, first, nil
+}
+
+// RunStressmark executes a stressmark trial: the stress score is the
+// mark's own, and the synchronized variants also verify the chip stays
+// inside its thermal envelope at the stressmark operating point.
+func (m *Machine) RunStressmark(label string, s workload.Stressmark, src *rng.Source) (TrialResult, error) {
+	if err := s.Validate(); err != nil {
+		return TrialResult{}, err
+	}
+	res, err := m.RunTrial(label, s.Profile, src)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/workload"
+)
+
+func TestUndervoltMeetsTarget(t *testing.T) {
+	m := NewReference()
+	res, err := m.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowestFreq < 4200 {
+		t.Errorf("slowest core %v below target", res.SlowestFreq)
+	}
+	if res.VddReduction <= 0.02 {
+		t.Errorf("default ATM at 4.2 GHz should undervolt substantially, got %v", res.VddReduction)
+	}
+	if res.SavingsFrac() < 0.08 || res.SavingsFrac() > 0.6 {
+		t.Errorf("savings %.1f%% implausible", 100*res.SavingsFrac())
+	}
+	if res.PowerAfter >= res.PowerBefore {
+		t.Error("undervolting did not reduce power")
+	}
+}
+
+// TestFineTunedUndervoltsFurther: converting the fine-tuned margin to
+// power instead of frequency saves more than default ATM — the flip
+// side of the paper's overclocking choice.
+func TestFineTunedUndervoltsFurther(t *testing.T) {
+	mDefault := NewReference()
+	base, err := mDefault.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mTuned := NewReference()
+	for _, core := range mTuned.Chips[0].Cores {
+		_, _, _, worst, ok := tableIRow(core.Profile.Label)
+		if !ok {
+			t.Fatal("missing table row")
+		}
+		if err := mTuned.ProgramCPM(core.Profile.Label, worst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuned, err := mTuned.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.VddReduction <= base.VddReduction {
+		t.Errorf("fine-tuned reduction %v not above default %v",
+			tuned.VddReduction, base.VddReduction)
+	}
+	if tuned.SavingsFrac() <= base.SavingsFrac() {
+		t.Errorf("fine-tuned savings %.1f%% not above default %.1f%%",
+			100*tuned.SavingsFrac(), 100*base.SavingsFrac())
+	}
+}
+
+// TestUndervoltLimitedBySlowestCore: the chip-wide Vdd is held hostage
+// by the slowest core — the restriction the paper's overclocking mode
+// sidesteps (Sec. II).
+func TestUndervoltLimitedBySlowestCore(t *testing.T) {
+	m := NewReference()
+	res, err := m.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The limiting core must be (one of) the slowest at reduction 0:
+	// verify no other core settles below it at the final supply.
+	for _, core := range m.Chips[0].Cores {
+		f, err := core.Profile.SettledFreq(0, res.Supply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limF, err2 := m.Chips[0].Cores[0].Profile.SettledFreq(0, res.Supply)
+		_ = limF
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		if f < res.SlowestFreq-1 {
+			t.Errorf("%s settles at %v, below the reported slowest %v",
+				core.Profile.Label, f, res.SlowestFreq)
+		}
+	}
+	// And the slowest frequency should sit essentially at the target
+	// (the controller converges to the boundary).
+	if math.Abs(float64(res.SlowestFreq-res.Target)) > 5 {
+		t.Errorf("controller left %v of slack above the target", res.SlowestFreq-res.Target)
+	}
+}
+
+func TestUndervoltUnderLoad(t *testing.T) {
+	m := NewReference()
+	for _, core := range m.Chips[0].Cores {
+		core.SetWorkload(workload.Daxpy)
+	}
+	idleRes, err := func() (UndervoltResult, error) {
+		m2 := NewReference()
+		return m2.SolveUndervolt("P0", 4200)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := m.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SlowestFreq < 4200 {
+		t.Errorf("loaded slowest %v below target", loaded.SlowestFreq)
+	}
+	// Under load the DC drop consumes part of the margin, so the VRM
+	// reduction must be smaller than at idle.
+	if loaded.VddReduction >= idleRes.VddReduction {
+		t.Errorf("loaded reduction %v not below idle %v", loaded.VddReduction, idleRes.VddReduction)
+	}
+}
+
+func TestUndervoltErrors(t *testing.T) {
+	m := NewReference()
+	if _, err := m.SolveUndervolt("P9", 4200); err == nil {
+		t.Error("bogus chip accepted")
+	}
+	if _, err := m.SolveUndervolt("P0", 0); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := m.SolveUndervolt("P0", 9000); err == nil {
+		t.Error("target above hardware cap accepted")
+	}
+	// Target above what the slowest core reaches at full voltage.
+	if _, err := m.SolveUndervolt("P0", 4640); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+// TestUndervoltRestoresPDN: the solver must not leave the chip's VRM
+// modified.
+func TestUndervoltRestoresPDN(t *testing.T) {
+	m := NewReference()
+	before := m.Chips[0].PDN
+	if _, err := m.SolveUndervolt("P0", 4200); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chips[0].PDN != before {
+		t.Error("SolveUndervolt mutated the chip's PDN")
+	}
+}
+
+// TestUndervoltVoltageConsistency: the reported supply must equal the
+// loadline at the reported power under the reduced setpoint.
+func TestUndervoltVoltageConsistency(t *testing.T) {
+	m := NewReference()
+	res, err := m.SolveUndervolt("P0", 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdnAt := m.Chips[0].PDN
+	pdnAt.VNom -= res.VddReduction
+	want := pdnAt.SteadyVoltage(res.PowerAfter)
+	if math.Abs(float64(want-res.Supply)) > 2e-3 {
+		t.Errorf("supply %v inconsistent with loadline %v", res.Supply, want)
+	}
+}
+
+// tableIRow proxies the published Table I.
+func tableIRow(label string) (idle, ub, normal, worst int, ok bool) {
+	return silicon.ReferenceTableI(label)
+}

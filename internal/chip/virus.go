@@ -1,0 +1,141 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/dpll"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// VirusTransient drives one chip's control loops against the voltage
+// virus's actual waveform: every core's dynamic current switches
+// synchronously between near-zero (the issue-throttle window) and full
+// daxpy draw, so the grid sees a square-wave load whose edges excite the
+// package resonance — the worst-case noise generator of Sec. VII-A,
+// played through the same second-order PDN and per-core DPLLs the rest
+// of the platform uses.
+//
+// This is the cycle-approximate companion of the stress trials: the
+// trial model *decides* survival statistically; this stepper *shows* the
+// loop riding the noise — margin violations absorbed by emergency
+// slewing, average frequency barely dented while the supply rings.
+
+// VirusResult summarizes a virus transient.
+type VirusResult struct {
+	// Intervals is the number of control intervals stepped.
+	Intervals int
+	// Violations counts margin violations (clock-gated intervals)
+	// across all cores.
+	Violations int
+	// MinSupply is the deepest instantaneous supply seen.
+	MinSupply units.Volt
+	// MeanFreq is each core's average frequency over the run.
+	MeanFreq []units.MHz
+	// MeanSupply is the average supply.
+	MeanSupply units.Volt
+}
+
+// VirusTransient steps the chip's loops for the given number of
+// throttle periods of the virus recipe at intervalNs per control
+// interval. Cores run at their currently programmed CPM configuration.
+func (m *Machine) VirusTransient(chipLabel string, virus workload.Stressmark, periods int, intervalNs float64) (VirusResult, error) {
+	if err := virus.Validate(); err != nil {
+		return VirusResult{}, err
+	}
+	if virus.ThrottlePeriod <= 0 || !virus.Synchronized {
+		return VirusResult{}, fmt.Errorf("chip: virus transient needs a synchronized throttling stressmark")
+	}
+	if periods <= 0 || intervalNs <= 0 {
+		return VirusResult{}, fmt.Errorf("chip: virus transient needs positive periods and interval")
+	}
+	var c *Chip
+	for _, ch := range m.Chips {
+		if ch.Profile.Label == chipLabel {
+			c = ch
+		}
+	}
+	if c == nil {
+		return VirusResult{}, fmt.Errorf("chip: no chip %q", chipLabel)
+	}
+
+	p := m.profile.Params()
+	loops := make([]*dpll.Loop, len(c.Cores))
+	for i, core := range c.Cores {
+		cfg := dpll.DefaultConfig(p.ThetaUnits, p.FMaxHW)
+		loop, err := dpll.New(core.Monitor, cfg, core.Profile.DefaultFreq())
+		if err != nil {
+			return VirusResult{}, err
+		}
+		loops[i] = loop
+	}
+
+	// DC operating point with the virus's sustained (daxpy-class) draw.
+	for _, core := range c.Cores {
+		core.SetWorkload(workload.Daxpy)
+	}
+	st, err := m.solveChip(c)
+	if err != nil {
+		return VirusResult{}, err
+	}
+	for _, core := range c.Cores {
+		core.SetWorkload(workload.Idle)
+	}
+	baseV := st.Supply
+
+	// The synchronized current step: all cores swing ~90% of their
+	// dynamic draw at each throttle edge, with the alignment bonus.
+	perCore := m.power.DynCurrentAmps(workload.Daxpy, 4500, baseV)
+	// Alignment superposes with losses across the shared grid.
+	stepAmps := perCore * 0.9 * float64(len(c.Cores)) *
+		pdn.SyncFactor(len(c.Cores)) / (pdn.SyncFactor(1) * float64(len(c.Cores)))
+
+	res := VirusResult{MinSupply: baseV}
+	sums := make([]float64, len(c.Cores))
+	var supplySum float64
+
+	// The throttle period in control intervals: one interval models a
+	// few cycles, so scale the 128-cycle recipe down proportionally but
+	// keep ≥2 intervals per phase.
+	perPhase := virus.ThrottlePeriod / 8
+	if perPhase < 2 {
+		perPhase = 2
+	}
+	totalIntervals := periods * 2 * perPhase
+
+	droop := 0.0
+	const decay = 0.55
+	for step := 0; step < totalIntervals; step++ {
+		// A load edge fires at each phase boundary; rising edges (issue
+		// resumes after the throttle window) droop the grid.
+		if step%perPhase == 0 {
+			rising := (step/perPhase)%2 == 0
+			if rising {
+				droop += float64(c.PDN.FirstDroopPeak(stepAmps))
+			} else {
+				droop -= 0.4 * float64(c.PDN.FirstDroopPeak(stepAmps)) // overshoot on load release
+			}
+		}
+		droop *= decay
+		v := units.Volt(float64(baseV) - droop)
+		if v < res.MinSupply {
+			res.MinSupply = v
+		}
+		supplySum += float64(v)
+		for i, loop := range loops {
+			r := loop.Step(v)
+			if r.Units < 0 {
+				res.Violations++
+			}
+			sums[i] += float64(loop.Freq())
+		}
+		res.Intervals++
+	}
+	res.MeanFreq = make([]units.MHz, len(c.Cores))
+	for i := range sums {
+		res.MeanFreq[i] = units.MHz(sums[i] / float64(res.Intervals))
+	}
+	res.MeanSupply = units.Volt(supplySum / float64(res.Intervals))
+	return res, nil
+}

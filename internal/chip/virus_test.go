@@ -1,0 +1,98 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestVirusTransientAtDefaultConfig(t *testing.T) {
+	m := NewReference()
+	res, err := m.VirusTransient("P0", workload.VoltageVirus(), 50, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals == 0 {
+		t.Fatal("no intervals stepped")
+	}
+	// The virus rings the supply well below the DC point.
+	if res.MinSupply >= res.MeanSupply {
+		t.Errorf("no droop observed: min %v, mean %v", res.MinSupply, res.MeanSupply)
+	}
+	drop := res.MeanSupply.Millivolts() - res.MinSupply.Millivolts()
+	if drop < 5 || drop > 80 {
+		t.Errorf("peak droop %.1f mV outside the plausible band", drop)
+	}
+	// At the conservative default configuration, the loop rides the
+	// noise: average frequency stays within a few percent of the
+	// default, whatever violations occur are absorbed.
+	for i, f := range res.MeanFreq {
+		def := float64(m.Chips[0].Cores[i].Profile.DefaultFreq())
+		if float64(f) < 0.93*def {
+			t.Errorf("core %d mean frequency %v collapsed under the virus (default %.0f)", i, f, def)
+		}
+	}
+}
+
+// TestVirusSilentDangerMechanism pins the model's subtle point: an
+// aggressive configuration's *shorter* CPM path is less sensitive to
+// voltage in absolute picoseconds, so the loop observes no more margin
+// violations than at the default — while the true-path failure hazard
+// (what the trial model charges) grows sharply. The danger of
+// fine-tuning is precisely that the canary gets quieter as the coal
+// mine gets worse; only correctness checking sees it (Sec. III-B).
+func TestVirusSilentDangerMechanism(t *testing.T) {
+	violationsAt := func(red int) int {
+		m := NewReference()
+		for _, core := range m.Chips[0].Cores {
+			r := red
+			if r > core.Profile.MaxReduction() {
+				r = core.Profile.MaxReduction()
+			}
+			if err := m.ProgramCPM(core.Profile.Label, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.VirusTransient("P0", workload.VoltageVirus(), 50, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Violations
+	}
+	vDeep, vDefault := violationsAt(7), violationsAt(0)
+	if vDeep > vDefault {
+		t.Errorf("measured violations grew with reduction (%d > %d); the shorter CPM path should see less",
+			vDeep, vDefault)
+	}
+	// Meanwhile the true-path hazard explodes: two steps beyond
+	// thread-worst the virus trial fails almost always.
+	m := NewReference()
+	core := m.Chips[0].Cores[0].Profile
+	worst := core.DeterministicLimit(1)
+	pAt, err := core.FailureProb(worst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst+2 <= core.MaxReduction() {
+		pBeyond, err := core.FailureProb(worst+2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pBeyond < 100*pAt && pBeyond < 0.5 {
+			t.Errorf("true-path hazard did not grow: %g at the limit vs %g beyond", pAt, pBeyond)
+		}
+	}
+}
+
+func TestVirusTransientValidation(t *testing.T) {
+	m := NewReference()
+	if _, err := m.VirusTransient("P9", workload.VoltageVirus(), 10, 1); err == nil {
+		t.Error("bogus chip accepted")
+	}
+	if _, err := m.VirusTransient("P0", workload.PowerVirus(), 10, 1); err == nil {
+		t.Error("unsynchronized stressmark accepted")
+	}
+	if _, err := m.VirusTransient("P0", workload.VoltageVirus(), 0, 1); err == nil {
+		t.Error("zero periods accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden artifact snapshots under testdata/.
+var update = flag.Bool("update", false, "rewrite golden artifact snapshots")
+
+// TestGoldenArtifacts snapshot-tests every artifact's rendered text
+// against testdata/*.golden. The whole pipeline is seeded, so any drift
+// in a snapshot is a real behaviour change in the model, the
+// methodology, or the rendering — exactly the regression surface this
+// repository exists to pin. Regenerate intentionally with:
+//
+//	go test ./internal/core -run TestGoldenArtifacts -update
+func TestGoldenArtifacts(t *testing.T) {
+	s := testSuite(t)
+	exps := append(s.Experiments(), s.ExtensionExperiments()...)
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			a, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := render(t, a)
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("artifact %s drifted from its golden snapshot.\n--- got ---\n%s\n--- want ---\n%s",
+					e.ID, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package fsp
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// The network face of the service processor: on real hardware the FSP
+// is reached over the service network; here ServeListener accepts any
+// net.Listener (TCP in cmd/atmfsp, net.Pipe in tests) and runs one
+// operator session per connection against a shared controller.
+//
+// The Controller itself is not concurrency-safe (it drives one machine),
+// so the server serializes command execution with a mutex — matching the
+// real firmware, which processes SCOM operations one at a time.
+
+// Server accepts operator connections and serves sessions.
+type Server struct {
+	ctl *Controller
+
+	mu sync.Mutex // serializes command execution across connections
+
+	wg      sync.WaitGroup
+	stateMu sync.Mutex // guards closing/listener against Serve↔Close races
+	closed  bool
+	closing chan struct{}
+
+	listener net.Listener
+}
+
+// NewServer wraps a controller for network serving.
+func NewServer(ctl *Controller) *Server {
+	return &Server{ctl: ctl, closing: make(chan struct{})}
+}
+
+// Serve accepts connections on l until Close is called or the listener
+// fails. It blocks; run it in a goroutine when the caller needs to
+// continue.
+func (s *Server) Serve(l net.Listener) error {
+	s.stateMu.Lock()
+	if s.closed {
+		// Close won the race: never accept.
+		s.stateMu.Unlock()
+		return l.Close()
+	}
+	s.listener = l
+	s.stateMu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return nil // orderly shutdown
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one session over a connection, serializing each command
+// against the shared controller.
+func (s *Server) serveConn(conn net.Conn) {
+	sess := NewSession(s.ctl)
+	locked := &lockedSession{sess: sess, mu: &s.mu}
+	_ = locked.serve(conn)
+}
+
+// lockedSession wraps a session so each command executes under the
+// server's mutex while the line I/O stays per-connection.
+type lockedSession struct {
+	sess *Session
+	mu   *sync.Mutex
+}
+
+func (ls *lockedSession) serve(conn net.Conn) error {
+	return ls.sess.serveWith(conn, conn, func(line string) string {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		return ls.sess.Exec(line)
+	})
+}
+
+// Close stops accepting and waits for in-flight sessions to finish.
+// It is idempotent and safe to call before, during, or after Serve.
+func (s *Server) Close() error {
+	s.stateMu.Lock()
+	var err error
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+		if s.listener != nil {
+			err = s.listener.Close()
+		}
+	}
+	s.stateMu.Unlock()
+	s.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package fsp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// dialScript connects, sends the script lines, and returns the response
+// lines.
+func dialScript(t *testing.T, addr string, lines ...string) []string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		for _, l := range lines {
+			fmt.Fprintln(conn, l)
+		}
+		fmt.Fprintln(conn, "quit")
+	}()
+	var out []string
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ctl := NewController(chip.NewReference())
+	srv := NewServer(ctl)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+func TestServerSingleSession(t *testing.T) {
+	_, addr := startServer(t)
+	resp := dialScript(t, addr, "cpm P0C3 6", "cpm P0C3", "freq P0C3")
+	if len(resp) != 4 { // 3 commands + quit ack
+		t.Fatalf("got %d responses: %v", len(resp), resp)
+	}
+	if resp[0] != "ok" || resp[1] != "ok 6" {
+		t.Errorf("responses: %v", resp)
+	}
+	if !strings.Contains(resp[2], "MHz") {
+		t.Errorf("freq response %q", resp[2])
+	}
+	if resp[3] != "ok bye" {
+		t.Errorf("quit ack %q", resp[3])
+	}
+}
+
+// TestServerConcurrentClients hammers the shared controller from many
+// connections; the mutex must keep every response well-formed and the
+// final machine state consistent.
+func TestServerConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*4)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			core := fmt.Sprintf("P1C%d", c%8)
+			resp := dialScript(t, addr,
+				fmt.Sprintf("cpm %s 1", core),
+				fmt.Sprintf("freq %s", core),
+				"chip P1",
+			)
+			if len(resp) != 4 {
+				errs <- fmt.Sprintf("client %d: %d responses", c, len(resp))
+				return
+			}
+			for i, r := range resp {
+				if !strings.HasPrefix(r, "ok") {
+					errs <- fmt.Sprintf("client %d line %d: %q", c, i, r)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// Every core the clients touched ends at reduction 1.
+	for c := 0; c < 8; c++ {
+		core, err := srv.ctl.Machine().Core(fmt.Sprintf("P1C%d", c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.Reduction() != 1 {
+			t.Errorf("%s at reduction %d after concurrent clients", core.Profile.Label, core.Reduction())
+		}
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

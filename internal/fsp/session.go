@@ -1,0 +1,245 @@
+package fsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Session is the line-oriented operator protocol over a controller —
+// what a test-floor script talks to. One command per line; responses
+// are single lines starting with "ok" or "err".
+//
+// Commands:
+//
+//	getscom <hex-addr>                read a raw register
+//	putscom <hex-addr> <value>        write a raw register
+//	cpm <core> [<reduction>]          read/program a core's CPM reduction
+//	mode <core> <static|atm>          set clocking mode
+//	pstate <core> <MHz>               set the DVFS p-state
+//	gate <core> <on|off>              power-gate a core
+//	freq <core>                       settled frequency (MHz)
+//	chip <P0|P1>                      chip telemetry line
+//	cores                             list core labels
+//	quit                              end the session
+type Session struct {
+	ctl *Controller
+}
+
+// NewSession wraps a controller.
+func NewSession(ctl *Controller) *Session { return &Session{ctl: ctl} }
+
+// Serve processes commands from r and writes responses to w until EOF
+// or "quit". Protocol errors are reported in-band; only transport
+// errors are returned.
+func (s *Session) Serve(r io.Reader, w io.Writer) error {
+	return s.serveWith(r, w, s.Exec)
+}
+
+// serveWith is Serve with a pluggable executor — the network server
+// wraps Exec in a lock so concurrent connections serialize against the
+// shared controller.
+func (s *Session) serveWith(r io.Reader, w io.Writer, exec func(string) string) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			if _, err := fmt.Fprintln(w, "ok bye"); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintln(w, exec(line)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Exec runs one command line and returns the response line.
+func (s *Session) Exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "err empty command"
+	}
+	cmd, args := fields[0], fields[1:]
+	out, err := s.dispatch(cmd, args)
+	if err != nil {
+		return "err " + err.Error()
+	}
+	if out == "" {
+		return "ok"
+	}
+	return "ok " + out
+}
+
+func (s *Session) dispatch(cmd string, args []string) (string, error) {
+	switch cmd {
+	case "getscom":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: getscom <hex-addr>")
+		}
+		a, err := parseAddr(args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := s.ctl.Getscom(a)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%#x", v), nil
+
+	case "putscom":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: putscom <hex-addr> <value>")
+		}
+		a, err := parseAddr(args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 0, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad value %q", args[1])
+		}
+		return "", s.ctl.Putscom(a, v)
+
+	case "cpm":
+		if len(args) < 1 || len(args) > 2 {
+			return "", fmt.Errorf("usage: cpm <core> [<reduction>]")
+		}
+		ci, ki, err := s.ctl.CoreAddrByLabel(args[0])
+		if err != nil {
+			return "", err
+		}
+		addr := MakeCoreAddr(ci, ki, regCPMReduction)
+		if len(args) == 2 {
+			red, err := strconv.Atoi(args[1])
+			if err != nil || red < 0 {
+				return "", fmt.Errorf("bad reduction %q", args[1])
+			}
+			return "", s.ctl.Putscom(addr, uint64(red))
+		}
+		v, err := s.ctl.Getscom(addr)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatUint(v, 10), nil
+
+	case "mode":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: mode <core> <static|atm>")
+		}
+		ci, ki, err := s.ctl.CoreAddrByLabel(args[0])
+		if err != nil {
+			return "", err
+		}
+		var v uint64
+		switch args[1] {
+		case "static":
+			v = 0
+		case "atm":
+			v = 1
+		default:
+			return "", fmt.Errorf("mode %q not static|atm", args[1])
+		}
+		return "", s.ctl.Putscom(MakeCoreAddr(ci, ki, regMode), v)
+
+	case "pstate":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: pstate <core> <MHz>")
+		}
+		ci, ki, err := s.ctl.CoreAddrByLabel(args[0])
+		if err != nil {
+			return "", err
+		}
+		mhz, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			return "", fmt.Errorf("bad p-state %q", args[1])
+		}
+		return "", s.ctl.Putscom(MakeCoreAddr(ci, ki, regPState), mhz)
+
+	case "gate":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: gate <core> <on|off>")
+		}
+		ci, ki, err := s.ctl.CoreAddrByLabel(args[0])
+		if err != nil {
+			return "", err
+		}
+		var v uint64
+		switch args[1] {
+		case "on":
+			v = 1
+		case "off":
+			v = 0
+		default:
+			return "", fmt.Errorf("gate %q not on|off", args[1])
+		}
+		return "", s.ctl.Putscom(MakeCoreAddr(ci, ki, regGated), v)
+
+	case "freq":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: freq <core>")
+		}
+		ci, ki, err := s.ctl.CoreAddrByLabel(args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := s.ctl.Getscom(MakeCoreAddr(ci, ki, regFreq))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d MHz", v), nil
+
+	case "chip":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: chip <label>")
+		}
+		ci := -1
+		for i, ch := range s.ctl.m.Chips {
+			if ch.Profile.Label == args[0] {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			return "", fmt.Errorf("no chip %q", args[0])
+		}
+		p, err := s.ctl.Getscom(MakeChipAddr(ci, regChipPower))
+		if err != nil {
+			return "", err
+		}
+		v, err := s.ctl.Getscom(MakeChipAddr(ci, regChipVolt))
+		if err != nil {
+			return "", err
+		}
+		t, err := s.ctl.Getscom(MakeChipAddr(ci, regChipTemp))
+		if err != nil {
+			return "", err
+		}
+		ok, err := s.ctl.Getscom(MakeChipAddr(ci, regChipInBudg))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("power=%.1fW supply=%dmV temp=%.1fC budget=%d",
+			float64(p)/1000, v, float64(t)/1000, ok), nil
+
+	case "cores":
+		return strings.Join(s.ctl.Labels(), " "), nil
+
+	default:
+		return "", fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseAddr(s string) (Addr, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return Addr(v), nil
+}

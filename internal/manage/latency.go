@@ -1,0 +1,85 @@
+package manage
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// LatencyPoint is one bar of the Fig. 2 study: a latency-critical task
+// under one margin setting and co-location schedule.
+type LatencyPoint struct {
+	Name      string
+	Core      string
+	Freq      units.MHz
+	Perf      float64 // relative to static margin
+	LatencyMs float64
+	ChipPower units.Watt
+}
+
+// LatencyStudy reproduces the Fig. 2 experiment for a latency-critical
+// workload (SqueezeNet in the paper): its task latency under
+//
+//   - the static margin (fixed 4.2 GHz, schedule-independent);
+//   - default ATM with idle co-runners;
+//   - fine-tuned ATM, worst schedule — the slowest deployed core with
+//     high-power co-runners (daxpy) on every other core;
+//   - fine-tuned ATM, best schedule — the fastest deployed core with
+//     the rest of the chip idle.
+func (mg *Manager) LatencyStudy(critical workload.Profile) ([]LatencyPoint, error) {
+	if critical.BaselineLatencyMs == 0 {
+		return nil, fmt.Errorf("manage: %s has no latency metric", critical.Name)
+	}
+	cores := mg.fastestOnChip()
+	if len(cores) < 2 {
+		return nil, fmt.Errorf("manage: chip %s has too few cores", mg.ChipLabel)
+	}
+	fastest, slowest := cores[0], cores[len(cores)-1]
+
+	type setup struct {
+		name     string
+		core     string
+		coRunner workload.Profile
+		mode     bgMode
+	}
+	setups := []setup{
+		{"static margin", fastest, workload.Idle, allStatic},
+		{"default ATM, idle co-runners", fastest, workload.Idle, allDefaultATM},
+		{"fine-tuned, worst schedule", slowest, workload.Daxpy, allDeployed},
+		{"fine-tuned, best schedule", fastest, workload.Idle, allDeployed},
+	}
+
+	var out []LatencyPoint
+	for _, su := range setups {
+		mg.M.ResetAll()
+		pair := Pair{Critical: critical, Background: su.coRunner}
+		if err := mg.configure(su.mode, su.core, pair, chip.PStateMax); err != nil {
+			return nil, err
+		}
+		st, err := mg.M.Solve()
+		if err != nil {
+			return nil, err
+		}
+		cs, err := st.CoreState(su.core)
+		if err != nil {
+			return nil, err
+		}
+		chipState, err := st.ChipState(mg.ChipLabel)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(mg.Preds.Base)
+		out = append(out, LatencyPoint{
+			Name:      su.name,
+			Core:      su.core,
+			Freq:      cs.Freq,
+			Perf:      critical.RelPerf(float64(cs.Freq), base),
+			LatencyMs: critical.LatencyMs(float64(cs.Freq), base),
+			ChipPower: chipState.Power,
+		})
+	}
+	mg.M.ResetAll()
+	return out, nil
+}

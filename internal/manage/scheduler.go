@@ -1,0 +1,380 @@
+package manage
+
+import (
+	"fmt"
+
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/tuning"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Scenario is one of the system configurations Fig. 14 compares.
+type Scenario int
+
+// Scenarios.
+const (
+	// ScenarioStaticMargin: ATM off, every core fixed at the 4.2 GHz
+	// p-state — the predictable-but-slow baseline.
+	ScenarioStaticMargin Scenario = iota
+	// ScenarioDefaultATM: the unmanaged stock system — every core in
+	// default ATM (reduction 0), background co-runners at full speed,
+	// critical application on an arbitrary core.
+	ScenarioDefaultATM
+	// ScenarioFineTunedUnmanaged: cores fine-tuned to their deployed
+	// limits but no management — the critical application may land on
+	// the slowest core and co-runners run unthrottled, raising chip
+	// power and eroding everyone's frequency.
+	ScenarioFineTunedUnmanaged
+	// ScenarioManagedMax: the managed system maximizing critical
+	// performance — critical on the fastest core, background cores
+	// throttled to the lowest p-state.
+	ScenarioManagedMax
+	// ScenarioManagedBalanced: the managed system meeting the critical
+	// QoS target with minimal background throttling (the budget flow of
+	// Fig. 13).
+	ScenarioManagedBalanced
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioStaticMargin:
+		return "static-margin"
+	case ScenarioDefaultATM:
+		return "default-atm"
+	case ScenarioFineTunedUnmanaged:
+		return "fine-tuned-unmanaged"
+	case ScenarioManagedMax:
+		return "managed-max"
+	case ScenarioManagedBalanced:
+		return "managed-balanced"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// ScenarioByName resolves the CLI-facing scenario names
+// (static-margin, default-atm, fine-tuned-unmanaged, managed-max,
+// managed-balanced).
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range []Scenario{
+		ScenarioStaticMargin, ScenarioDefaultATM, ScenarioFineTunedUnmanaged,
+		ScenarioManagedMax, ScenarioManagedBalanced,
+	} {
+		if sc.String() == name {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("manage: unknown scenario %q", name)
+}
+
+// Pair is one ⟨critical : background⟩ co-location of Fig. 14.
+type Pair struct {
+	Critical   workload.Profile
+	Background workload.Profile
+}
+
+// Label renders the pair the way the paper's figure does.
+func (p Pair) Label() string { return p.Critical.Name + ":" + p.Background.Name }
+
+// Valid enforces the Table II co-location rule: two memory-intensive
+// workloads are never co-located (memory interference is out of scope).
+func (p Pair) Valid() error {
+	if p.Critical.MemIntensive() && p.Background.MemIntensive() {
+		return fmt.Errorf("manage: pair %s co-locates two memory-intensive workloads", p.Label())
+	}
+	return nil
+}
+
+// Fig14Pairs returns the ⟨critical : background⟩ pairs the evaluation
+// runs, following the paper's named combinations (squeezenet with lu_cb,
+// ferret with raytrace, vgg19 with swaptions, fluidanimate with x264,
+// seq2seq with streamcluster) plus the remaining Table II criticals.
+func Fig14Pairs() []Pair {
+	mk := func(c, b string) Pair {
+		return Pair{Critical: workload.MustByName(c), Background: workload.MustByName(b)}
+	}
+	return []Pair{
+		mk("squeezenet", "lu_cb"),
+		mk("ferret", "raytrace"),
+		mk("vgg19", "swaptions"),
+		mk("fluidanimate", "x264"),
+		mk("seq2seq", "streamcluster"),
+		mk("resnet", "blackscholes"),
+		mk("babi", "mlp"),
+		mk("bodytrack", "gcc"),
+		mk("vips", "facesim"),
+	}
+}
+
+// Evaluation is the measured outcome of one scenario for one pair.
+type Evaluation struct {
+	Scenario Scenario
+	Pair     Pair
+
+	CriticalCore string
+	CriticalFreq units.MHz
+	// CriticalPerf is relative to the static-margin baseline (1.0).
+	CriticalPerf float64
+	// CriticalLatencyMs is the task latency when the workload has one.
+	CriticalLatencyMs float64
+
+	// BackgroundSetting describes how co-runners were clocked.
+	BackgroundSetting string
+	// BackgroundPerf is the co-runners' mean performance relative to
+	// running at the static baseline.
+	BackgroundPerf float64
+
+	ChipPower units.Watt
+	Supply    units.Volt
+	TempC     units.Celsius
+
+	// QoSTarget and MeetsQoS report the balanced-mode contract.
+	QoSTarget float64
+	MeetsQoS  bool
+	// PowerBudget is the planned chip-power budget (balanced mode).
+	PowerBudget units.Watt
+}
+
+// Improvement returns the critical application's gain over static margin
+// (0.10 = +10%).
+func (e Evaluation) Improvement() float64 { return e.CriticalPerf - 1 }
+
+// Manager owns the managed-ATM scheduling state for one chip.
+type Manager struct {
+	M     *chip.Machine
+	Dep   *tuning.Deployment
+	Preds *PredictorSet
+	// Rep enables the conservative and aggressive governors; optional
+	// for the default governor.
+	Rep *charact.Report
+	// ChipLabel selects the chip workloads are co-located on (the
+	// paper uses P0).
+	ChipLabel string
+	// Governor selects the CPM policy for the managed scenarios.
+	Governor Governor
+}
+
+// NewManager wires a manager over a deployed machine. Predictors are
+// calibrated on construction (at the deployed configuration).
+func NewManager(m *chip.Machine, dep *tuning.Deployment, rep *charact.Report) (*Manager, error) {
+	// Calibration must observe the deployed configuration.
+	if err := applyGovernor(m, GovernorDefault, dep, rep, nil); err != nil {
+		return nil, err
+	}
+	preds, err := CalibratePredictors(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		M: m, Dep: dep, Preds: preds, Rep: rep,
+		ChipLabel: m.Chips[0].Profile.Label,
+		Governor:  GovernorDefault,
+	}, nil
+}
+
+// chipCores returns the labels of the managed chip's cores.
+func (mg *Manager) chipCores() []string {
+	for _, c := range mg.M.Chips {
+		if c.Profile.Label == mg.ChipLabel {
+			labels := make([]string, len(c.Cores))
+			for i, core := range c.Cores {
+				labels[i] = core.Profile.Label
+			}
+			return labels
+		}
+	}
+	return nil
+}
+
+// fastestOnChip returns the managed chip's cores ordered by descending
+// deployed idle frequency.
+func (mg *Manager) fastestOnChip() []string {
+	var out []string
+	for _, label := range mg.Dep.FastestCores() {
+		for _, l := range mg.chipCores() {
+			if l == label {
+				out = append(out, label)
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate configures the machine for the scenario, solves the steady
+// state and reports the outcome. qosTarget (e.g. 0.10 for +10% over
+// static margin) is only consulted by ScenarioManagedBalanced.
+func (mg *Manager) Evaluate(s Scenario, pair Pair, qosTarget float64) (Evaluation, error) {
+	if err := pair.Valid(); err != nil {
+		return Evaluation{}, err
+	}
+	mg.M.ResetAll()
+	defer mg.M.ResetAll()
+
+	cores := mg.fastestOnChip()
+	if len(cores) < 2 {
+		return Evaluation{}, fmt.Errorf("manage: chip %s has too few cores", mg.ChipLabel)
+	}
+
+	ev := Evaluation{Scenario: s, Pair: pair, QoSTarget: qosTarget}
+
+	switch s {
+	case ScenarioStaticMargin:
+		ev.CriticalCore = cores[0]
+		if err := mg.configure(allStatic, ev.CriticalCore, pair, chip.PStateMax); err != nil {
+			return Evaluation{}, err
+		}
+		ev.BackgroundSetting = "static 4.2 GHz"
+
+	case ScenarioDefaultATM:
+		// Unmanaged: arbitrary placement. Default ATM is uniform by
+		// design, so any core is representative; co-runners run at
+		// full ATM speed.
+		ev.CriticalCore = cores[len(cores)/2]
+		if err := mg.configure(allDefaultATM, ev.CriticalCore, pair, 0); err != nil {
+			return Evaluation{}, err
+		}
+		ev.BackgroundSetting = "default ATM, unthrottled"
+
+	case ScenarioFineTunedUnmanaged:
+		// Careless placement: the slowest fine-tuned core gets the
+		// critical job; co-runners unthrottled at fine-tuned ATM.
+		ev.CriticalCore = cores[len(cores)-1]
+		if err := mg.configure(allDeployed, ev.CriticalCore, pair, 0); err != nil {
+			return Evaluation{}, err
+		}
+		ev.BackgroundSetting = "fine-tuned ATM, unthrottled"
+
+	case ScenarioManagedMax:
+		ev.CriticalCore = cores[0]
+		if err := mg.configure(managedBG, ev.CriticalCore, pair, chip.PStateMin); err != nil {
+			return Evaluation{}, err
+		}
+		ev.BackgroundSetting = fmt.Sprintf("static %.1f GHz (lowest p-state)", chip.PStateMin.GHz())
+
+	case ScenarioManagedBalanced:
+		var err error
+		ev, err = mg.planBalanced(pair, qosTarget)
+		if err != nil {
+			return Evaluation{}, err
+		}
+
+	default:
+		return Evaluation{}, fmt.Errorf("manage: unknown scenario %v", s)
+	}
+
+	return mg.measure(ev, pair, qosTarget)
+}
+
+// bgMode describes how a scenario clocks cores.
+type bgMode int
+
+const (
+	allStatic bgMode = iota
+	allDefaultATM
+	allDeployed
+	managedBG // critical fine-tuned ATM, background static at given p-state
+)
+
+// configure programs CPMs, modes and workloads for a scenario.
+// bgPState is consulted by allStatic (critical too) and managedBG.
+func (mg *Manager) configure(mode bgMode, criticalCore string, pair Pair, bgPState units.MHz) error {
+	for _, label := range mg.chipCores() {
+		core, err := mg.M.Core(label)
+		if err != nil {
+			return err
+		}
+		isCrit := label == criticalCore
+		if isCrit {
+			core.SetWorkload(pair.Critical)
+		} else {
+			core.SetWorkload(pair.Background)
+		}
+
+		switch mode {
+		case allStatic:
+			core.SetMode(chip.ModeStatic)
+			if err := core.SetPState(chip.PStateMax); err != nil {
+				return err
+			}
+		case allDefaultATM:
+			core.SetMode(chip.ModeATM)
+			if err := mg.M.ProgramCPM(label, 0); err != nil {
+				return err
+			}
+		case allDeployed, managedBG:
+			cfg, ok := mg.Dep.Config(label)
+			if !ok {
+				return fmt.Errorf("manage: no deployment for %s", label)
+			}
+			if mode == managedBG && !isCrit {
+				core.SetMode(chip.ModeStatic)
+				if err := core.SetPState(bgPState); err != nil {
+					return err
+				}
+			} else {
+				core.SetMode(chip.ModeATM)
+				if err := mg.M.ProgramCPM(label, cfg.Reduction); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Governor overrides for the managed scenarios (conservative /
+	// aggressive placement policies).
+	if mode == managedBG || mode == allDeployed {
+		if mg.Governor != GovernorDefault {
+			perCore := map[string]workload.Profile{}
+			for _, label := range mg.chipCores() {
+				if label == criticalCore {
+					perCore[label] = pair.Critical
+				} else {
+					perCore[label] = pair.Background
+				}
+			}
+			if err := applyGovernor(mg.M, mg.Governor, mg.Dep, mg.Rep, perCore); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// measure solves the configured machine and fills in the evaluation.
+func (mg *Manager) measure(ev Evaluation, pair Pair, qosTarget float64) (Evaluation, error) {
+	st, err := mg.M.Solve()
+	if err != nil {
+		return Evaluation{}, err
+	}
+	cs, err := st.ChipState(mg.ChipLabel)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	crit, err := st.CoreState(ev.CriticalCore)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	base := float64(mg.Preds.Base)
+	ev.CriticalFreq = crit.Freq
+	ev.CriticalPerf = pair.Critical.RelPerf(float64(crit.Freq), base)
+	ev.CriticalLatencyMs = pair.Critical.LatencyMs(float64(crit.Freq), base)
+	ev.ChipPower = cs.Power
+	ev.Supply = cs.Supply
+	ev.TempC = cs.TempC
+
+	var bgSum float64
+	var bgN int
+	for _, c := range cs.Cores {
+		if c.Label == ev.CriticalCore || c.Gated {
+			continue
+		}
+		bgSum += pair.Background.RelPerf(float64(c.Freq), base)
+		bgN++
+	}
+	if bgN > 0 {
+		ev.BackgroundPerf = bgSum / float64(bgN)
+	}
+	ev.MeetsQoS = qosTarget <= 0 || ev.Improvement() >= qosTarget-1e-9
+	return ev, nil
+}

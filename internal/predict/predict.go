@@ -1,0 +1,257 @@
+// Package predict explores the paper's deferred future work: predicting
+// each application's best-fit CPM configuration from observable program
+// behaviour instead of profiling it (Sec. VI–VII: "one can try to
+// predict each application's best CPM setting on each core. However,
+// such a prediction scheme demands perfect prediction accuracy because
+// any misprediction can lead to system failure...").
+//
+// The package builds the experiment that quantifies that argument:
+//
+//  1. synthesize per-application hardware-counter vectors (IPC, cache
+//     miss rate, branch miss rate, pipeline-flush rate, power proxy).
+//     Counters correlate with the workload's true di/dt stress — but
+//     imperfectly, with deliberate aliasing: the paper observes that
+//     x264 and leela have similar counter profiles yet wildly different
+//     rollback needs, and that instruction-rich gcc stresses ATM *less*
+//     than narrow exchange2;
+//  2. train a linear model (counters ⊕ core features → safe reduction)
+//     on a split of profiled applications;
+//  3. evaluate on held-out applications: mean absolute error is decent,
+//     but what matters is the *unsafe* rate — predictions above the true
+//     limit, each of which is a potential crash — and how many steps of
+//     conservative bias are needed to drive it to zero.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/charact"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Counters is one application's synthesized hardware-counter profile.
+type Counters struct {
+	IPC            float64 // retired instructions per cycle
+	CacheMissRate  float64 // misses per kilo-instruction, normalized
+	BranchMissRate float64
+	FlushRate      float64 // pipeline flushes per kilo-cycle, normalized
+	PowerProxy     float64 // activity-derived power estimate
+}
+
+// Vector returns the counter values as a feature slice.
+func (c Counters) Vector() []float64 {
+	return []float64{c.IPC, c.CacheMissRate, c.BranchMissRate, c.FlushRate, c.PowerProxy}
+}
+
+// CounterNames labels the feature columns.
+var CounterNames = []string{"ipc", "cache-miss", "branch-miss", "flush-rate", "power-proxy"}
+
+// aliasedPairs lists applications whose counter profiles deliberately
+// alias despite very different ATM stress — the paper's observed
+// failure mode for counter-based prediction ("x264 has similar
+// performance counter profiles as leela, but their rollback requirements
+// differ substantially"; gcc's rich instruction mix stresses ATM less
+// than exchange2's narrow one).
+var aliasedFlushRate = map[string]float64{
+	"x264":  0.30, // true stress 1.00 — counters hide it
+	"leela": 0.26, // true stress 0.14 — looks like x264
+	"gcc":   0.42, // rich mix, counters *over*state its mild stress
+}
+
+// CountersFor synthesizes an application's counter vector. The mapping
+// is deterministic per (workload, seed): counters derive from the
+// profile's true properties plus measurement noise, with the aliased
+// applications overridden to break the correlation the way real
+// counters do.
+func CountersFor(p workload.Profile, src *rng.Source) Counters {
+	s := src.Split(p.Name)
+	noise := func(sigma float64) float64 { return s.Norm(0, sigma) }
+	flush := 0.15 + 0.55*p.StressScore + noise(0.05)
+	if v, ok := aliasedFlushRate[p.Name]; ok {
+		flush = v + noise(0.02)
+	}
+	c := Counters{
+		IPC:            clamp(2.4-1.6*p.MemIntensity+0.3*noise(1), 0.2, 4),
+		CacheMissRate:  clamp(p.MemIntensity+noise(0.06), 0, 1.2),
+		BranchMissRate: clamp(0.1+0.25*p.StressScore+noise(0.05), 0, 1),
+		FlushRate:      clamp(flush, 0, 1.2),
+		PowerProxy:     clamp(p.CdynRel+noise(0.05), 0, 1.3),
+	}
+	return c
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Min(math.Max(v, lo), hi) }
+
+// Sample is one (application, core) training/evaluation point.
+type Sample struct {
+	App  string
+	Core string
+	// Features: counters ⊕ core features (uBench limit, stress-test
+	// vulnerability proxy = uBench − thread-worst).
+	Features []float64
+	// TrueLimit is the profiled safe reduction for this pair.
+	TrueLimit int
+}
+
+// Model predicts per-(app, core) safe reductions.
+type Model struct {
+	Fit      stats.MultiFit
+	Features int
+}
+
+// Predict returns the (unrounded) predicted safe reduction.
+func (m Model) Predict(features []float64) float64 { return m.Fit.Predict(features) }
+
+// Dataset builds the samples from a characterization report.
+func Dataset(rep *charact.Report, seed uint64) []Sample {
+	src := rng.New(seed)
+	var out []Sample
+	apps := workload.Realistic()
+	for _, app := range apps {
+		ctr := CountersFor(app, src)
+		for _, cr := range rep.Cores {
+			lim, ok := cr.AppLimit[app.Name]
+			if !ok {
+				continue
+			}
+			features := append(ctr.Vector(),
+				float64(cr.UBenchLimit),
+				float64(cr.UBenchLimit-cr.ThreadWorst))
+			out = append(out, Sample{
+				App:       app.Name,
+				Core:      cr.Core,
+				Features:  features,
+				TrueLimit: lim,
+			})
+		}
+	}
+	return out
+}
+
+// SplitByApp partitions samples into train/test by holding out the given
+// applications — the deployment question is always about *unseen*
+// programs.
+func SplitByApp(samples []Sample, holdout []string) (train, test []Sample) {
+	held := map[string]bool{}
+	for _, h := range holdout {
+		held[h] = true
+	}
+	for _, s := range samples {
+		if held[s.App] {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, test
+}
+
+// DefaultHoldout is the evaluation split: a mix of benign, medium and
+// stressful applications, including the aliased pair member (x264) the
+// counters cannot see.
+var DefaultHoldout = []string{"x264", "leela", "mcf", "ferret", "squeezenet", "swaptions", "gcc", "omnetpp"}
+
+// Train fits the linear model on training samples.
+func Train(train []Sample) (Model, error) {
+	if len(train) == 0 {
+		return Model{}, fmt.Errorf("predict: no training samples")
+	}
+	xs := make([][]float64, len(train))
+	ys := make([]float64, len(train))
+	for i, s := range train {
+		xs[i] = s.Features
+		ys[i] = float64(s.TrueLimit)
+	}
+	fit, err := stats.FitMulti(xs, ys)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{Fit: fit, Features: len(train[0].Features)}, nil
+}
+
+// Evaluation aggregates a model's held-out performance at a given
+// conservative bias (steps subtracted from every prediction before
+// deployment).
+type Evaluation struct {
+	Bias int
+	// MAE is the mean absolute error of the biased integer prediction.
+	MAE float64
+	// UnsafeRate is the fraction of pairs whose deployed prediction
+	// exceeds the true limit — each one a potential field failure.
+	UnsafeRate float64
+	// MeanStepsLost counts the average safe margin wasted (true −
+	// deployed, over safe predictions only).
+	MeanStepsLost float64
+	// WorstOvershoot is the largest number of steps a prediction went
+	// past the true limit.
+	WorstOvershoot int
+	N              int
+}
+
+// Evaluate scores the model on test samples across the given biases.
+func Evaluate(m Model, test []Sample, biases []int) []Evaluation {
+	var out []Evaluation
+	for _, bias := range biases {
+		ev := Evaluation{Bias: bias, N: len(test)}
+		var absSum, lostSum float64
+		var lostN int
+		for _, s := range test {
+			raw := int(math.Floor(m.Predict(s.Features))) - bias
+			if raw < 0 {
+				raw = 0
+			}
+			absSum += math.Abs(float64(raw - s.TrueLimit))
+			if raw > s.TrueLimit {
+				ev.UnsafeRate++
+				if over := raw - s.TrueLimit; over > ev.WorstOvershoot {
+					ev.WorstOvershoot = over
+				}
+			} else {
+				lostSum += float64(s.TrueLimit - raw)
+				lostN++
+			}
+		}
+		if len(test) > 0 {
+			ev.MAE = absSum / float64(len(test))
+			ev.UnsafeRate /= float64(len(test))
+		}
+		if lostN > 0 {
+			ev.MeanStepsLost = lostSum / float64(lostN)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// UnsafeApps returns the held-out applications with at least one unsafe
+// prediction at the given bias, worst first — in practice the aliased
+// pair dominates.
+func UnsafeApps(m Model, test []Sample, bias int) []string {
+	over := map[string]int{}
+	for _, s := range test {
+		raw := int(math.Floor(m.Predict(s.Features))) - bias
+		if raw < 0 {
+			raw = 0
+		}
+		if raw > s.TrueLimit {
+			if d := raw - s.TrueLimit; d > over[s.App] {
+				over[s.App] = d
+			}
+		}
+	}
+	apps := make([]string, 0, len(over))
+	for a := range over {
+		apps = append(apps, a)
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		if over[apps[i]] != over[apps[j]] {
+			return over[apps[i]] > over[apps[j]]
+		}
+		return apps[i] < apps[j]
+	})
+	return apps
+}

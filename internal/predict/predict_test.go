@@ -1,0 +1,172 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+var fixtureRep *charact.Report
+
+func report(t *testing.T) *charact.Report {
+	t.Helper()
+	if fixtureRep == nil {
+		rep, err := charact.Characterize(chip.NewReference(), charact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureRep = rep
+	}
+	return fixtureRep
+}
+
+func TestCountersDeterministic(t *testing.T) {
+	w := workload.MustByName("x264")
+	a := CountersFor(w, rng.New(1))
+	b := CountersFor(w, rng.New(1))
+	if a != b {
+		t.Error("counters not deterministic per (workload, seed)")
+	}
+	c := CountersFor(w, rng.New(2))
+	if a == c {
+		t.Error("counters insensitive to seed")
+	}
+}
+
+func TestCountersAliasing(t *testing.T) {
+	src := rng.New(3)
+	x := CountersFor(workload.MustByName("x264"), src)
+	l := CountersFor(workload.MustByName("leela"), src)
+	// The aliased pair must look similar on the stress-correlated
+	// counter despite a 7× stress difference.
+	if d := x.FlushRate - l.FlushRate; d < -0.15 || d > 0.15 {
+		t.Errorf("x264/leela flush rates not aliased: %.2f vs %.2f", x.FlushRate, l.FlushRate)
+	}
+	// A genuinely stressful, non-aliased app reads high.
+	f := CountersFor(workload.MustByName("ferret"), src)
+	if f.FlushRate < x.FlushRate+0.2 {
+		t.Errorf("ferret flush rate %.2f does not dominate aliased x264 %.2f", f.FlushRate, x.FlushRate)
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	rep := report(t)
+	ds := Dataset(rep, 1)
+	wantRows := len(workload.Realistic()) * 16
+	if len(ds) != wantRows {
+		t.Fatalf("dataset has %d rows, want %d", len(ds), wantRows)
+	}
+	width := len(CounterNames) + 2
+	for _, s := range ds {
+		if len(s.Features) != width {
+			t.Fatalf("sample width %d, want %d", len(s.Features), width)
+		}
+		if s.TrueLimit < 0 {
+			t.Fatal("negative true limit")
+		}
+	}
+}
+
+func TestSplitByApp(t *testing.T) {
+	rep := report(t)
+	ds := Dataset(rep, 1)
+	train, test := SplitByApp(ds, DefaultHoldout)
+	if len(train)+len(test) != len(ds) {
+		t.Fatal("split lost samples")
+	}
+	held := map[string]bool{}
+	for _, h := range DefaultHoldout {
+		held[h] = true
+	}
+	for _, s := range train {
+		if held[s.App] {
+			t.Fatalf("held-out app %s leaked into training", s.App)
+		}
+	}
+	if len(test) != len(DefaultHoldout)*16 {
+		t.Fatalf("test set has %d rows", len(test))
+	}
+}
+
+// TestPredictionIsUsefulButUnsafe is the experiment's thesis: the model
+// learns the broad structure (decent MAE, far better than a constant
+// guess) yet produces unsafe predictions on held-out applications at
+// zero bias — and needs several steps of conservative bias to become
+// safe, at which point much of the per-app benefit is gone. Exactly the
+// paper's argument for deferring prediction.
+func TestPredictionIsUsefulButUnsafe(t *testing.T) {
+	rep := report(t)
+	ds := Dataset(rep, 1)
+	train, test := SplitByApp(ds, DefaultHoldout)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Evaluate(m, test, []int{0, 1, 2, 3})
+	at := map[int]Evaluation{}
+	for _, e := range evs {
+		at[e.Bias] = e
+	}
+	if at[0].MAE > 2.5 {
+		t.Errorf("zero-bias MAE %.2f — the model learned nothing", at[0].MAE)
+	}
+	if at[0].UnsafeRate < 0.05 {
+		t.Errorf("zero-bias unsafe rate %.2f suspiciously low — the aliasing should bite", at[0].UnsafeRate)
+	}
+	// Bias drives the unsafe rate down monotonically...
+	for b := 1; b <= 3; b++ {
+		if at[b].UnsafeRate > at[b-1].UnsafeRate+1e-9 {
+			t.Errorf("unsafe rate rose with bias %d: %.3f → %.3f", b, at[b-1].UnsafeRate, at[b].UnsafeRate)
+		}
+	}
+	// ...but costs margin.
+	if at[3].MeanStepsLost <= at[0].MeanStepsLost {
+		t.Error("bias did not cost margin")
+	}
+}
+
+func TestUnsafeAppsIncludesAliased(t *testing.T) {
+	rep := report(t)
+	ds := Dataset(rep, 1)
+	train, test := SplitByApp(ds, DefaultHoldout)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsafe := UnsafeApps(m, test, 0)
+	if len(unsafe) == 0 {
+		t.Fatal("no unsafe apps at zero bias")
+	}
+	found := false
+	for _, a := range unsafe {
+		if a == "x264" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("x264 (the counter-aliased stressor) not among unsafe apps: %v", unsafe)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestEvaluateEmptyTest(t *testing.T) {
+	rep := report(t)
+	ds := Dataset(rep, 1)
+	train, _ := SplitByApp(ds, nil)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Evaluate(m, nil, []int{0})
+	if evs[0].N != 0 || evs[0].MAE != 0 {
+		t.Errorf("empty test evaluation = %+v", evs[0])
+	}
+}

@@ -1,0 +1,173 @@
+// Package report renders experiment results as aligned text tables and
+// CSV — the formats cmd/atmfigures and the benchmark harness emit so
+// every table and figure of the paper can be regenerated and diffed.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note is a free-form caption printed under the table (paper
+	// comparison, caveats).
+	Note string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len([]rune(t.Title)))); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+			return err
+		}
+		seps := make([]string, len(t.Header))
+		for i := range seps {
+			seps[i] = strings.Repeat("-", widths[i])
+		}
+		if _, err := fmt.Fprintln(w, line(seps)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (header + rows; title and note as
+// comment lines).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(w, csvLine(t.Header)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, csvLine(row)); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	r := []rune(s)
+	if len(r) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}
+
+func csvLine(cells []string) string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	return strings.Join(out, ",")
+}
+
+// Artifact is one regenerated table or figure: an identifier tying it to
+// the paper plus its rendered data.
+type Artifact struct {
+	// ID is the paper label, e.g. "table1", "fig7".
+	ID string
+	// Caption describes what the paper shows there.
+	Caption string
+	// Tables hold the regenerated data (a figure renders as one table
+	// per panel/series group).
+	Tables []*Table
+}
+
+// Render writes the artifact as text.
+func (a *Artifact) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "[%s] %s\n\n", a.ID, a.Caption); err != nil {
+		return err
+	}
+	for _, t := range a.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the artifact's tables as CSV blocks.
+func (a *Artifact) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# [%s] %s\n", a.ID, a.Caption); err != nil {
+		return err
+	}
+	for _, t := range a.Tables {
+		if err := t.RenderCSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with the given decimals — the single formatting
+// helper the experiment code uses for numeric cells.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

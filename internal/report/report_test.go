@@ -1,0 +1,160 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Header: []string{"core", "freq (MHz)"},
+		Note:   "a note",
+	}
+	t.AddRow("P0C0", "4991")
+	t.AddRow("P0C7", "4699")
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// Title, underline, header, separator, two rows, note.
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "======" {
+		t.Errorf("underline = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "core ") {
+		t.Errorf("header = %q", lines[2])
+	}
+	// Columns align: "freq (MHz)" starts at the same offset in header
+	// and rows.
+	off := strings.Index(lines[2], "freq")
+	if off < 0 {
+		t.Fatal("no freq column")
+	}
+	if lines[4][off] != '4' {
+		t.Errorf("row misaligned: %q", lines[4])
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+}
+
+func TestRenderNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("just", "cells")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "just") {
+		t.Error("row missing")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{"# Sample", "core,freq (MHz)", "P0C0,4991", "# a note"}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("CSV missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Header: []string{"a"}}
+	tbl.AddRow(`va"l,ue`)
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"va""l,ue"`) {
+		t.Errorf("quoting wrong: %s", sb.String())
+	}
+}
+
+func TestArtifactRender(t *testing.T) {
+	a := &Artifact{ID: "figX", Caption: "cap", Tables: []*Table{sample(), sample()}}
+	var sb strings.Builder
+	if err := a.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "[figX] cap") {
+		t.Errorf("artifact header wrong: %q", out[:20])
+	}
+	if strings.Count(out, "Sample") != 2 {
+		t.Error("not all tables rendered")
+	}
+	sb.Reset()
+	if err := a.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# [figX] cap") {
+		t.Error("CSV artifact header missing")
+	}
+}
+
+// failWriter errors after n writes, to exercise error propagation.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	for budget := 0; budget < 7; budget++ {
+		if err := sample().Render(&failWriter{n: budget}); err == nil {
+			t.Errorf("Render with %d-write budget did not error", budget)
+		}
+	}
+	if err := sample().RenderCSV(&failWriter{n: 0}); err == nil {
+		t.Error("RenderCSV did not propagate the error")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1234.567, 1) != "1234.6" {
+		t.Errorf("F = %q", F(1234.567, 1))
+	}
+	if F(2, 0) != "2" {
+		t.Errorf("F = %q", F(2, 0))
+	}
+	if Pct(0.061) != "6.1%" {
+		t.Errorf("Pct = %q", Pct(0.061))
+	}
+	if Pct(-0.015) != "-1.5%" {
+		t.Errorf("Pct = %q", Pct(-0.015))
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tbl := &Table{Header: []string{"θ", "freq"}}
+	tbl.AddRow("1", "4600")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The rune-width padding must not explode on multibyte headers.
+	lines := strings.Split(sb.String(), "\n")
+	if !strings.HasPrefix(lines[0], "θ") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"repro/internal/chip"
+	"repro/internal/dvfs"
+	"repro/internal/workload"
+)
+
+// pickCore chooses the core for the next job of the given class, or ""
+// when none is free.
+func (s *Simulator) pickCore(running map[string]*active, critical bool, p Policy) string {
+	free := func(label string) bool {
+		_, busy := running[label]
+		return !busy
+	}
+	switch p {
+	case PolicyManaged:
+		if critical {
+			// Fastest free core (deployment speed order).
+			for _, label := range s.bySpeed {
+				if free(label) {
+					return label
+				}
+			}
+			return ""
+		}
+		// Background: slowest free core, keeping the fast ones for
+		// critical arrivals.
+		for i := len(s.bySpeed) - 1; i >= 0; i-- {
+			if free(s.bySpeed[i]) {
+				return s.bySpeed[i]
+			}
+		}
+		return ""
+	default:
+		// Variation-blind: lowest free physical index. Iterate the
+		// chip's physical order rather than the speed ranking.
+		for _, c := range s.chipCores() {
+			if free(c) {
+				return c
+			}
+		}
+		return ""
+	}
+}
+
+// chipCores returns the managed chip's core labels in physical order.
+func (s *Simulator) chipCores() []string {
+	for _, ch := range s.m.Chips {
+		if ch.Profile.Label == s.chipL {
+			out := make([]string, len(ch.Cores))
+			for i, c := range ch.Cores {
+				out[i] = c.Profile.Label
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// configureCore applies the policy's clocking to a core that is about to
+// run job.
+func (s *Simulator) configureCore(label string, job Job, p Policy) error {
+	core, err := s.m.Core(label)
+	if err != nil {
+		return err
+	}
+	core.SetWorkload(job.Workload)
+	core.SetGated(false)
+	switch p {
+	case PolicyStatic:
+		core.SetMode(chip.ModeStatic)
+		return core.SetPState(chip.PStateMax)
+	case PolicyOndemand:
+		// A dispatched job is 100% utilization: ondemand jumps to the
+		// top p-state immediately.
+		core.SetMode(chip.ModeStatic)
+		return dvfs.Apply(core, dvfs.DefaultOndemand(), 1.0)
+	default:
+		cfg, ok := s.dep.Config(label)
+		if !ok {
+			return errNoConfig(label)
+		}
+		core.SetMode(chip.ModeATM)
+		return s.m.ProgramCPM(label, cfg.Reduction)
+	}
+}
+
+// idleCore returns a freed core to the idle workload (its clocking stays
+// whatever the policy last set; throttling reconciliation follows).
+// Under the ondemand policy the governor walks the idle core down the
+// ladder — scheduler events are far apart relative to governor sampling
+// periods, so the sustained-idle fixpoint (the floor) is applied.
+func (s *Simulator) idleCore(label string, p Policy) error {
+	core, err := s.m.Core(label)
+	if err != nil {
+		return err
+	}
+	core.SetWorkload(workload.Idle)
+	if p == PolicyOndemand {
+		g := dvfs.DefaultOndemand()
+		for {
+			before := core.PState()
+			if err := dvfs.Apply(core, g, 0.0); err != nil {
+				return err
+			}
+			if core.PState() == before {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// applyThrottling reconciles the managed policy's background throttling:
+// while any critical job is resident on the chip, every core running a
+// background job is pinned to the 4.2 GHz static p-state (freeing DC
+// budget for the critical cores); when no critical job is resident,
+// background cores get their full fine-tuned ATM speed back.
+func (s *Simulator) applyThrottling(running map[string]*active, p Policy) error {
+	if p != PolicyManaged {
+		return nil
+	}
+	criticalResident := false
+	for _, a := range running {
+		if a.job.Class == ClassCritical {
+			criticalResident = true
+			break
+		}
+	}
+	for label, a := range running {
+		core, err := s.m.Core(label)
+		if err != nil {
+			return err
+		}
+		if a.job.Class == ClassBackground {
+			if criticalResident {
+				core.SetMode(chip.ModeStatic)
+				if err := core.SetPState(chip.PStateMax); err != nil {
+					return err
+				}
+			} else {
+				cfg, ok := s.dep.Config(label)
+				if !ok {
+					return errNoConfig(label)
+				}
+				core.SetMode(chip.ModeATM)
+				if err := s.m.ProgramCPM(label, cfg.Reduction); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type errNoConfig string
+
+func (e errNoConfig) Error() string { return "sched: no deployment config for " + string(e) }

@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/rng"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// fixture shares the deployed machine across tests.
+var (
+	fixM   *chip.Machine
+	fixDep *tuning.Deployment
+)
+
+func sim(t *testing.T) *Simulator {
+	t.Helper()
+	if fixM == nil {
+		fixM = chip.NewReference()
+		dep, err := tuning.Deploy(fixM, tuning.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixDep = dep
+	}
+	s, err := NewSimulator(fixM, fixDep, "P0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func shortOpts(p Policy) Options {
+	return Options{
+		Policy:     p,
+		HorizonSec: 60,
+		Seed:       7,
+	}
+}
+
+func TestTraceGeneration(t *testing.T) {
+	o := shortOpts(PolicyStatic)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	if len(trace) < 10 {
+		t.Fatalf("trace has only %d jobs", len(trace))
+	}
+	prev := -1.0
+	crit, bg := 0, 0
+	for i, j := range trace {
+		if j.ArrivalSec < prev {
+			t.Fatal("trace not sorted by arrival")
+		}
+		prev = j.ArrivalSec
+		if j.ID != i {
+			t.Fatal("IDs not renumbered")
+		}
+		if j.ServiceSec <= 0 {
+			t.Fatal("non-positive service demand")
+		}
+		switch j.Class {
+		case ClassCritical:
+			crit++
+			if j.Workload.Role != workload.RoleCritical {
+				t.Errorf("critical job carries %s workload %s", j.Workload.Role, j.Workload.Name)
+			}
+		case ClassBackground:
+			bg++
+			if j.Workload.Role != workload.RoleBackground {
+				t.Errorf("background job carries %s workload %s", j.Workload.Role, j.Workload.Name)
+			}
+		}
+	}
+	if crit == 0 || bg == 0 {
+		t.Fatalf("trace missing a class: crit=%d bg=%d", crit, bg)
+	}
+	// Deterministic for a given seed.
+	again := GenerateTrace(o, rng.New(o.Seed))
+	if len(again) != len(trace) || again[3] != trace[3] {
+		t.Error("trace generation not deterministic")
+	}
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	s := sim(t)
+	o := shortOpts(PolicyManaged)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	res, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completed) != len(trace) {
+		t.Fatalf("completed %d of %d jobs", len(res.Completed), len(trace))
+	}
+	for _, r := range res.Completed {
+		if r.StartSec < r.ArrivalSec-1e-9 {
+			t.Errorf("job %d started before arriving", r.ID)
+		}
+		if r.FinishSec <= r.StartSec {
+			t.Errorf("job %d finished instantly", r.ID)
+		}
+		if r.Core == "" {
+			t.Errorf("job %d has no core", r.ID)
+		}
+	}
+	if res.MakespanSec <= o.HorizonSec/2 {
+		t.Errorf("makespan %.1f implausibly small", res.MakespanSec)
+	}
+	if res.EnergyJ <= 0 {
+		t.Error("no energy integrated")
+	}
+}
+
+// TestStaticSpeedupIsOne: under the static policy every job runs at the
+// 4.2 GHz baseline, so the achieved speedup is exactly 1.
+func TestStaticSpeedupIsOne(t *testing.T) {
+	s := sim(t)
+	o := shortOpts(PolicyStatic)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	res, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Completed {
+		if math.Abs(r.Speedup()-1) > 1e-6 {
+			t.Fatalf("job %d speedup %.4f under static margin", r.ID, r.Speedup())
+		}
+	}
+}
+
+// TestPolicyLadder is the dynamic counterpart of Fig. 14: managed ATM
+// must deliver better critical-job latency than unmanaged ATM, which
+// must beat the static margin.
+func TestPolicyLadder(t *testing.T) {
+	s := sim(t)
+	lat := map[Policy]float64{}
+	speed := map[Policy]float64{}
+	for _, p := range []Policy{PolicyStatic, PolicyUnmanaged, PolicyManaged} {
+		o := shortOpts(p)
+		trace := GenerateTrace(o, rng.New(o.Seed))
+		res, err := s.Run(trace, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[p] = res.CritLatency.Mean
+		speed[p] = res.CritSpeedup
+	}
+	if !(speed[PolicyStatic] < speed[PolicyUnmanaged]) {
+		t.Errorf("unmanaged ATM speedup %.3f not above static %.3f",
+			speed[PolicyUnmanaged], speed[PolicyStatic])
+	}
+	if !(speed[PolicyUnmanaged] < speed[PolicyManaged]) {
+		t.Errorf("managed speedup %.3f not above unmanaged %.3f",
+			speed[PolicyManaged], speed[PolicyUnmanaged])
+	}
+	if !(lat[PolicyManaged] < lat[PolicyStatic]) {
+		t.Errorf("managed critical latency %.2f not below static %.2f",
+			lat[PolicyManaged], lat[PolicyStatic])
+	}
+}
+
+// TestManagedPlacement: under the managed policy, critical jobs must
+// land on faster cores (on average) than background jobs.
+func TestManagedPlacement(t *testing.T) {
+	s := sim(t)
+	o := shortOpts(PolicyManaged)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	res, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := map[string]int{}
+	for i, label := range s.bySpeed {
+		rank[label] = i
+	}
+	var critRank, bgRank, critN, bgN float64
+	for _, r := range res.Completed {
+		if r.Class == ClassCritical {
+			critRank += float64(rank[r.Core])
+			critN++
+		} else {
+			bgRank += float64(rank[r.Core])
+			bgN++
+		}
+	}
+	if critN == 0 || bgN == 0 {
+		t.Fatal("a class completed no jobs")
+	}
+	if critRank/critN >= bgRank/bgN {
+		t.Errorf("critical jobs ran on slower cores (avg rank %.2f) than background (%.2f)",
+			critRank/critN, bgRank/bgN)
+	}
+}
+
+// TestMachineResetAfterRun: the simulator must return the machine to the
+// reset state.
+func TestMachineResetAfterRun(t *testing.T) {
+	s := sim(t)
+	o := shortOpts(PolicyManaged)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	if _, err := s.Run(trace, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.m.AllCores() {
+		if c.Workload().Name != "idle" || c.Reduction() != 0 || c.Mode() != chip.ModeATM {
+			t.Fatalf("%s not reset after run", c.Profile.Label)
+		}
+	}
+}
+
+// TestDeterminism: same trace + options → identical results.
+func TestDeterminism(t *testing.T) {
+	s := sim(t)
+	o := shortOpts(PolicyManaged)
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	r1, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CritLatency.Mean != r2.CritLatency.Mean || r1.EnergyJ != r2.EnergyJ {
+		t.Error("simulation not deterministic")
+	}
+}
+
+// TestOverload: with arrivals far above capacity, the queue drains after
+// the horizon and everything still completes.
+func TestOverload(t *testing.T) {
+	s := sim(t)
+	o := Options{Policy: PolicyManaged, HorizonSec: 30, BGRate: 4, CritRate: 0.3, Seed: 3}
+	trace := GenerateTrace(o, rng.New(o.Seed))
+	res, err := s.Run(trace, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completed) != len(trace) {
+		t.Fatalf("overloaded run lost jobs: %d of %d", len(res.Completed), len(trace))
+	}
+	if res.MakespanSec <= o.HorizonSec {
+		t.Error("overloaded run did not drain past the horizon")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	if _, err := NewSimulator(fixM, fixDep, "P9"); err == nil {
+		t.Error("bogus chip accepted")
+	}
+}
+
+// TestOndemandSavesEnergy: the ondemand baseline matches the static
+// policy's performance (speedup 1, same latency behaviour) while
+// spending less energy by walking idle cores down the p-state ladder.
+func TestOndemandSavesEnergy(t *testing.T) {
+	s := sim(t)
+	oStatic := shortOpts(PolicyStatic)
+	oOnd := shortOpts(PolicyOndemand)
+	trace := GenerateTrace(oStatic, rng.New(oStatic.Seed))
+	rs, err := s.Run(trace, oStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := s.Run(trace, oOnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ro.Completed {
+		if math.Abs(r.Speedup()-1) > 1e-6 {
+			t.Fatalf("job %d speedup %.4f under the ondemand static baseline", r.ID, r.Speedup())
+		}
+	}
+	if ro.EnergyJ >= rs.EnergyJ {
+		t.Errorf("ondemand energy %.0f J not below static-at-max %.0f J", ro.EnergyJ, rs.EnergyJ)
+	}
+	if ro.Policy.String() != "static-ondemand" {
+		t.Errorf("policy name %q", ro.Policy.String())
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// MultiFit is an ordinary least-squares fit of y on multiple features:
+// y ≈ Weights·x + Intercept.
+type MultiFit struct {
+	Weights   []float64
+	Intercept float64
+	R2        float64
+}
+
+// Predict evaluates the fitted hyperplane at x. It panics when the
+// feature count differs from the training width — always a caller bug.
+func (f MultiFit) Predict(x []float64) float64 {
+	if len(x) != len(f.Weights) {
+		panic("stats: MultiFit.Predict feature width mismatch")
+	}
+	y := f.Intercept
+	for i, w := range f.Weights {
+		y += w * x[i]
+	}
+	return y
+}
+
+// FitMulti performs OLS over rows of features xs (each of equal width)
+// against targets ys, solving the normal equations by Gaussian
+// elimination with partial pivoting. A tiny ridge term keeps nearly
+// collinear feature sets solvable (the synthetic counter vectors can be
+// strongly correlated).
+func FitMulti(xs [][]float64, ys []float64) (MultiFit, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return MultiFit{}, errors.New("stats: FitMulti length mismatch")
+	}
+	if n == 0 {
+		return MultiFit{}, ErrInsufficientData
+	}
+	d := len(xs[0])
+	for _, row := range xs {
+		if len(row) != d {
+			return MultiFit{}, errors.New("stats: FitMulti ragged feature rows")
+		}
+	}
+	if n < d+1 {
+		return MultiFit{}, ErrInsufficientData
+	}
+
+	// Augment with the intercept column: p = d+1 parameters.
+	p := d + 1
+	// Normal equations: (XᵀX + λI)·β = Xᵀy.
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p)
+	}
+	aty := make([]float64, p)
+	feat := func(row []float64, j int) float64 {
+		if j == d {
+			return 1 // intercept column
+		}
+		return row[j]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			fi := feat(xs[r], i)
+			aty[i] += fi * ys[r]
+			for j := 0; j < p; j++ {
+				ata[i][j] += fi * feat(xs[r], j)
+			}
+		}
+	}
+	const ridge = 1e-9
+	for i := 0; i < d; i++ { // do not regularize the intercept
+		ata[i][i] += ridge * float64(n)
+	}
+
+	beta, err := solveLinearSystem(ata, aty)
+	if err != nil {
+		return MultiFit{}, err
+	}
+
+	fit := MultiFit{Weights: beta[:d], Intercept: beta[d]}
+	// R².
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		e := ys[r] - fit.Predict(xs[r])
+		ssRes += e * e
+		dy := ys[r] - my
+		ssTot += dy * dy
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// solveLinearSystem solves A·x = b by Gaussian elimination with partial
+// pivoting. A is modified in place.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, errors.New("stats: singular system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= a[col][c] * x[c]
+		}
+		x[col] = sum / a[col][col]
+	}
+	return x, nil
+}

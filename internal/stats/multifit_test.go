@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitMultiExactPlane(t *testing.T) {
+	xs := [][]float64{
+		{1, 2}, {2, 1}, {3, 3}, {0, 1}, {4, 0}, {2, 5},
+	}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x[0] - 2*x[1] + 7
+	}
+	fit, err := FitMulti(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Weights[0]-3) > 1e-6 || math.Abs(fit.Weights[1]+2) > 1e-6 {
+		t.Errorf("weights = %v", fit.Weights)
+	}
+	if math.Abs(fit.Intercept-7) > 1e-6 {
+		t.Errorf("intercept = %g", fit.Intercept)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R² = %g", fit.R2)
+	}
+	if got := fit.Predict([]float64{10, 10}); math.Abs(got-17) > 1e-5 {
+		t.Errorf("Predict = %g, want 17", got)
+	}
+}
+
+func TestFitMultiMatchesSimpleFit(t *testing.T) {
+	// One feature: must agree with FitLinear.
+	xs1 := []float64{1, 2, 3, 4, 5, 8}
+	ys := []float64{2.1, 3.8, 6.2, 8.1, 9.7, 16.4}
+	lin, err := FitLinear(xs1, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, len(xs1))
+	for i, x := range xs1 {
+		rows[i] = []float64{x}
+	}
+	multi, err := FitMulti(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi.Weights[0]-lin.Slope) > 1e-6 ||
+		math.Abs(multi.Intercept-lin.Intercept) > 1e-6 {
+		t.Errorf("multi %v/%g vs linear %g/%g",
+			multi.Weights, multi.Intercept, lin.Slope, lin.Intercept)
+	}
+}
+
+func TestFitMultiErrors(t *testing.T) {
+	if _, err := FitMulti(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := FitMulti([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitMulti([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	// Underdetermined: 2 samples, 2 features (+ intercept = 3 params).
+	if _, err := FitMulti([][]float64{{1, 2}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+}
+
+func TestFitMultiCollinearSurvives(t *testing.T) {
+	// Second feature is an exact copy: the ridge term must keep the
+	// system solvable, and predictions must still be right.
+	xs := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}}
+	ys := []float64{2, 4, 6, 8, 10}
+	fit, err := FitMulti(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fit.Predict([]float64{6, 6}); math.Abs(got-12) > 1e-3 {
+		t.Errorf("collinear prediction = %g, want 12", got)
+	}
+}
+
+func TestPredictPanicsOnWidthMismatch(t *testing.T) {
+	fit := MultiFit{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	fit.Predict([]float64{1})
+}
+
+// TestFitMultiRecoversRandomPlanes: OLS recovers exact planes for
+// arbitrary coefficients.
+func TestFitMultiRecoversRandomPlanes(t *testing.T) {
+	prop := func(w0, w1, w2, c int8) bool {
+		xs := [][]float64{
+			{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+			{1, 2, 3}, {3, 1, 2}, {2, 3, 1}, {5, 5, 1},
+		}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = float64(w0)*x[0] + float64(w1)*x[1] + float64(w2)*x[2] + float64(c)
+		}
+		fit, err := FitMulti(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i, want := range []float64{float64(w0), float64(w1), float64(w2)} {
+			if math.Abs(fit.Weights[i]-want) > 1e-5 {
+				return false
+			}
+		}
+		return math.Abs(fit.Intercept-float64(c)) < 1e-5
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package telemetry records time-series traces of the platform — the
+// software counterpart of the on-chip telemetry the paper's off-chip
+// controller consumes (the 32 ms sliding-window frequency average,
+// Sec. II) and of the bench instrumentation the characterization relies
+// on. It wraps the transient stepper's output in a bounded recorder with
+// sliding-window statistics and CSV export.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/units"
+)
+
+// Sample is one recorded instant.
+type Sample struct {
+	TimeNs float64
+	Supply units.Volt
+	Freqs  []units.MHz
+}
+
+// Recorder is a bounded ring of samples. The zero value is unusable;
+// construct with NewRecorder.
+type Recorder struct {
+	cap     int
+	labels  []string
+	samples []Sample
+	start   int // ring start index
+	total   int // lifetime samples seen
+}
+
+// NewRecorder returns a recorder holding at most capacity samples for
+// the given core labels.
+func NewRecorder(capacity int, labels []string) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("telemetry: non-positive capacity %d", capacity)
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("telemetry: no core labels")
+	}
+	return &Recorder{cap: capacity, labels: append([]string(nil), labels...)}, nil
+}
+
+// Labels returns the recorded core labels.
+func (r *Recorder) Labels() []string { return append([]string(nil), r.labels...) }
+
+// Add records one sample, evicting the oldest when full.
+func (r *Recorder) Add(s Sample) error {
+	if len(s.Freqs) != len(r.labels) {
+		return fmt.Errorf("telemetry: sample has %d frequencies, recorder tracks %d cores",
+			len(s.Freqs), len(r.labels))
+	}
+	s.Freqs = append([]units.MHz(nil), s.Freqs...)
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, s)
+	} else {
+		r.samples[r.start] = s
+		r.start = (r.start + 1) % r.cap
+	}
+	r.total++
+	return nil
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// Total returns the lifetime number of samples seen.
+func (r *Recorder) Total() int { return r.total }
+
+// At returns the i-th retained sample in chronological order.
+func (r *Recorder) At(i int) Sample {
+	if i < 0 || i >= len(r.samples) {
+		panic("telemetry: sample index out of range")
+	}
+	return r.samples[(r.start+i)%len(r.samples)]
+}
+
+// WindowMean returns the mean frequency of one core over the most recent
+// window of n samples — the sliding-window average the off-chip
+// controller reads.
+func (r *Recorder) WindowMean(label string, n int) (units.MHz, error) {
+	idx := -1
+	for i, l := range r.labels {
+		if l == label {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("telemetry: unknown core %q", label)
+	}
+	if n <= 0 || len(r.samples) == 0 {
+		return 0, fmt.Errorf("telemetry: empty window")
+	}
+	if n > len(r.samples) {
+		n = len(r.samples)
+	}
+	sum := 0.0
+	for i := len(r.samples) - n; i < len(r.samples); i++ {
+		sum += float64(r.At(i).Freqs[idx])
+	}
+	return units.MHz(sum / float64(n)), nil
+}
+
+// MinSupply returns the deepest supply excursion retained.
+func (r *Recorder) MinSupply() (units.Volt, error) {
+	if len(r.samples) == 0 {
+		return 0, fmt.Errorf("telemetry: no samples")
+	}
+	lo := r.At(0).Supply
+	for i := 1; i < len(r.samples); i++ {
+		if s := r.At(i).Supply; s < lo {
+			lo = s
+		}
+	}
+	return lo, nil
+}
+
+// WriteCSV dumps the retained samples: time_ns, supply_mV, one frequency
+// column per core.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "time_ns,supply_mv"); err != nil {
+		return err
+	}
+	for _, l := range r.labels {
+		if _, err := fmt.Fprintf(w, ",%s_mhz", l); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := 0; i < len(r.samples); i++ {
+		s := r.At(i)
+		if _, err := fmt.Fprintf(w, "%.1f,%.1f", s.TimeNs, s.Supply.Millivolts()); err != nil {
+			return err
+		}
+		for _, f := range s.Freqs {
+			if _, err := fmt.Fprintf(w, ",%.0f", float64(f)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordTransient runs the machine's transient stepper on one chip and
+// captures the trace into a new recorder.
+func RecordTransient(m *chip.Machine, chipLabel string, res chip.TransientResult) (*Recorder, error) {
+	var labels []string
+	for _, ch := range m.Chips {
+		if ch.Profile.Label == chipLabel {
+			for _, c := range ch.Cores {
+				labels = append(labels, c.Profile.Label)
+			}
+		}
+	}
+	if labels == nil {
+		return nil, fmt.Errorf("telemetry: no chip %q", chipLabel)
+	}
+	rec, err := NewRecorder(len(res.Samples), labels)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range res.Samples {
+		if err := rec.Add(Sample{TimeNs: s.TimeNs, Supply: s.Supply, Freqs: s.Freqs}); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// FreqQuantiles returns per-core frequency quantiles over the retained
+// trace, for summarizing long transients compactly.
+func (r *Recorder) FreqQuantiles(label string, qs []float64) ([]units.MHz, error) {
+	idx := -1
+	for i, l := range r.labels {
+		if l == label {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("telemetry: unknown core %q", label)
+	}
+	if len(r.samples) == 0 {
+		return nil, fmt.Errorf("telemetry: no samples")
+	}
+	vals := make([]float64, len(r.samples))
+	for i := range r.samples {
+		vals[i] = float64(r.At(i).Freqs[idx])
+	}
+	sort.Float64s(vals)
+	out := make([]units.MHz, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		pos := q * float64(len(vals)-1)
+		lo := int(pos)
+		hi := lo
+		if lo+1 < len(vals) {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+		out[i] = units.MHz(vals[lo]*(1-frac) + vals[hi]*frac)
+	}
+	return out, nil
+}

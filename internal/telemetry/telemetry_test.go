@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func mkSample(t float64, v units.Volt, fs ...units.MHz) Sample {
+	return Sample{TimeNs: t, Supply: v, Freqs: fs}
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0, []string{"a"}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewRecorder(4, nil); err == nil {
+		t.Error("no labels accepted")
+	}
+}
+
+func TestAddAndAt(t *testing.T) {
+	r, err := NewRecorder(4, []string{"c0", "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Add(mkSample(float64(i), 1.25, units.MHz(4000+i), units.MHz(4500+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	if got := r.At(1).TimeNs; got != 1 {
+		t.Errorf("At(1).TimeNs = %g", got)
+	}
+	if err := r.Add(mkSample(9, 1.25, 1)); err == nil {
+		t.Error("width-mismatched sample accepted")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r, err := NewRecorder(3, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := r.Add(mkSample(float64(i), 1.25, units.MHz(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 || r.Total() != 7 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	// Chronological order: samples 4, 5, 6.
+	for i := 0; i < 3; i++ {
+		if got := r.At(i).TimeNs; got != float64(4+i) {
+			t.Errorf("At(%d).TimeNs = %g, want %d", i, got, 4+i)
+		}
+	}
+}
+
+func TestAddDoesNotAliasCallerSlice(t *testing.T) {
+	r, _ := NewRecorder(2, []string{"c"})
+	fs := []units.MHz{4000}
+	if err := r.Add(Sample{TimeNs: 0, Supply: 1.25, Freqs: fs}); err != nil {
+		t.Fatal(err)
+	}
+	fs[0] = 9999
+	if got := r.At(0).Freqs[0]; got != 4000 {
+		t.Errorf("recorder aliased caller slice: %v", got)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	r, _ := NewRecorder(10, []string{"c0", "c1"})
+	for i := 0; i < 6; i++ {
+		_ = r.Add(mkSample(float64(i), 1.25, units.MHz(4000+100*i), 4600))
+	}
+	got, err := r.WindowMean("c0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.MHz((4300 + 4400 + 4500) / 3)
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("window mean %v, want %v", got, want)
+	}
+	// Window larger than history clamps.
+	if _, err := r.WindowMean("c0", 100); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.WindowMean("nope", 3); err == nil {
+		t.Error("unknown core accepted")
+	}
+	if _, err := r.WindowMean("c0", 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMinSupply(t *testing.T) {
+	r, _ := NewRecorder(10, []string{"c"})
+	if _, err := r.MinSupply(); err == nil {
+		t.Error("empty MinSupply accepted")
+	}
+	for _, v := range []units.Volt{1.25, 1.21, 1.24} {
+		_ = r.Add(mkSample(0, v, 4600))
+	}
+	lo, err := r.MinSupply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1.21 {
+		t.Errorf("MinSupply = %v", lo)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r, _ := NewRecorder(4, []string{"P0C0", "P0C1"})
+	_ = r.Add(mkSample(0, 1.25, 4600, 4610))
+	_ = r.Add(mkSample(1, 1.249, 4601, 4612))
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"time_ns,supply_mv,P0C0_mhz,P0C1_mhz", "0.0,1250.0,4600,4610", "1.0,1249.0,4601,4612"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFreqQuantiles(t *testing.T) {
+	r, _ := NewRecorder(10, []string{"c"})
+	for i := 1; i <= 5; i++ {
+		_ = r.Add(mkSample(float64(i), 1.25, units.MHz(1000*i)))
+	}
+	qs, err := r.FreqQuantiles("c", []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != 1000 || qs[1] != 3000 || qs[2] != 5000 {
+		t.Errorf("quantiles = %v", qs)
+	}
+	if _, err := r.FreqQuantiles("nope", []float64{0.5}); err == nil {
+		t.Error("unknown core accepted")
+	}
+}
+
+func TestRecordTransient(t *testing.T) {
+	m := chip.NewReference()
+	res, err := m.Transient("P0", 500, 1.0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordTransient(m, "P0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 500 {
+		t.Fatalf("recorded %d samples", rec.Len())
+	}
+	if len(rec.Labels()) != 8 {
+		t.Fatalf("recorded %d cores", len(rec.Labels()))
+	}
+	// The 32-sample window mean approximates the transient's own mean.
+	wm, err := rec.WindowMean("P0C0", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(wm-res.MeanFreq[0])) > 1 {
+		t.Errorf("window mean %v vs transient mean %v", wm, res.MeanFreq[0])
+	}
+	if _, err := RecordTransient(m, "P9", res); err == nil {
+		t.Error("bogus chip accepted")
+	}
+}

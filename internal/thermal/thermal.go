@@ -1,0 +1,102 @@
+// Package thermal is the lumped thermal model of one processor package:
+// a single thermal resistance from junction to ambient, a first-order
+// time constant for transients, and a leakage-power feedback term.
+//
+// The paper maintains die temperature under 70 °C in all experiments
+// (Sec. VII-D) and reports temperature playing only a modest role in
+// timing (Sec. VII-B), so the model's job is (a) to reproduce the
+// 160 W → 70 °C operating point of the stress tests and (b) to close the
+// small leakage feedback loop in the chip power solver.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Params describes one package's thermal path.
+type Params struct {
+	// AmbientC is the inlet air temperature.
+	AmbientC units.Celsius
+	// ResistanceCPerW is the junction-to-ambient thermal resistance.
+	// 0.28 °C/W puts a 160 W chip at 70 °C with a 25 °C inlet — the
+	// paper's stress-test operating point.
+	ResistanceCPerW float64
+	// TimeConstantS is the first-order thermal time constant.
+	TimeConstantS float64
+	// TjMaxC is the thermal envelope the experiments must respect.
+	TjMaxC units.Celsius
+}
+
+// DefaultParams returns the package constants used for the POWER7+
+// model.
+func DefaultParams() Params {
+	return Params{
+		AmbientC:        25,
+		ResistanceCPerW: 0.28,
+		TimeConstantS:   8,
+		TjMaxC:          70,
+	}
+}
+
+// Validate reports whether the parameter set is usable.
+func (p Params) Validate() error {
+	switch {
+	case p.ResistanceCPerW <= 0:
+		return fmt.Errorf("thermal: non-positive resistance %g", p.ResistanceCPerW)
+	case p.TimeConstantS <= 0:
+		return fmt.Errorf("thermal: non-positive time constant %g", p.TimeConstantS)
+	case p.TjMaxC <= p.AmbientC:
+		return fmt.Errorf("thermal: TjMax %v not above ambient %v", p.TjMaxC, p.AmbientC)
+	}
+	return nil
+}
+
+// SteadyTemp returns the junction temperature at sustained power P.
+func (p Params) SteadyTemp(power units.Watt) units.Celsius {
+	return p.AmbientC + units.Celsius(p.ResistanceCPerW*float64(power))
+}
+
+// WithinEnvelope reports whether sustained power P keeps the junction
+// under TjMax.
+func (p Params) WithinEnvelope(power units.Watt) bool {
+	return p.SteadyTemp(power) <= p.TjMaxC
+}
+
+// MaxPower returns the sustained power that saturates the envelope.
+func (p Params) MaxPower() units.Watt {
+	return units.Watt(float64(p.TjMaxC-p.AmbientC) / p.ResistanceCPerW)
+}
+
+// State tracks a transient junction temperature.
+type State struct {
+	params Params
+	temp   units.Celsius
+}
+
+// NewState returns a transient state starting at ambient.
+func NewState(p Params) *State {
+	return &State{params: p, temp: p.AmbientC}
+}
+
+// Temp returns the current junction temperature.
+func (s *State) Temp() units.Celsius { return s.temp }
+
+// Step advances the first-order thermal state by dt seconds under the
+// given power and returns the new temperature.
+func (s *State) Step(power units.Watt, dtSeconds float64) units.Celsius {
+	target := s.params.SteadyTemp(power)
+	alpha := 1 - math.Exp(-dtSeconds/s.params.TimeConstantS)
+	s.temp += units.Celsius(alpha * float64(target-s.temp))
+	return s.temp
+}
+
+// LeakageScale returns the multiplicative leakage-power factor at
+// junction temperature t relative to the leakage at ambient:
+// sub-threshold leakage grows roughly exponentially, ~1.9× over a
+// 25→70 °C swing at this coefficient.
+func (p Params) LeakageScale(t units.Celsius) float64 {
+	return math.Exp(0.0143 * float64(t-p.AmbientC))
+}

@@ -1,0 +1,295 @@
+// Package tuning implements the paper's deployment procedure
+// (Sec. VII-A): a test-time stress-test that finds each core's limit ATM
+// configuration while guaranteeing correctness, without the overhead of
+// the full per-application characterization.
+//
+// The full methodology of internal/charact is an *analysis* tool; its
+// per-application profiling is too slow for manufacturing flow. Instead,
+// test time runs a worst-case battery — a power virus (maximum DC drop
+// and temperature), an ISA verification sweep (path coverage), and the
+// voltage virus (synchronized di/dt surges on top of daxpy power) — and
+// searches each core's most aggressive configuration that sustains all
+// of them. Because a stress test by definition exceeds any real
+// workload's requirements, the resulting configuration is safe for
+// production. Vendors may roll the limit back one or two further steps
+// for an additional safety guarantee; the inter-core variation trend
+// survives rollback (Fig. 11).
+package tuning
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Options tunes the deployment procedure.
+type Options struct {
+	// Rollback is the optional extra safety margin: steps subtracted
+	// from the stress-test limit before deployment. 0 deploys the
+	// limit itself (the configuration the paper's management scheme
+	// uses).
+	Rollback int
+	// RunsPerConfig is how many clean executions of each stressmark a
+	// configuration needs to count as safe. Default 4.
+	RunsPerConfig int
+	// Passes repeats the whole battery to build confidence. Default 3.
+	Passes int
+	// Seed drives the stochastic trials. Default 1.
+	Seed uint64
+	// Battery overrides the stressmark set (default TestTimeSuite).
+	Battery []workload.Stressmark
+}
+
+func (o Options) withDefaults() Options {
+	if o.RunsPerConfig == 0 {
+		o.RunsPerConfig = 4
+	}
+	if o.Passes == 0 {
+		o.Passes = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Battery == nil {
+		o.Battery = workload.TestTimeSuite()
+	}
+	return o
+}
+
+// CoreConfig is one core's deployed fine-tuned configuration.
+type CoreConfig struct {
+	Core string
+	// StressLimit is the most aggressive reduction that sustained the
+	// full battery on every pass.
+	StressLimit int
+	// Reduction is the deployed setting: StressLimit − Rollback,
+	// floored at 0.
+	Reduction int
+	// IdleFreq is the settled frequency at the deployed setting with
+	// the rest of the chip idle (the bars of Fig. 11).
+	IdleFreq units.MHz
+	// LoadedFreq is the settled frequency at the deployed setting with
+	// every core of the chip running daxpy — the maximum-DC-drop corner
+	// (the worst case of Fig. 1's fourth bar).
+	LoadedFreq units.MHz
+}
+
+// Deployment is a full server's fine-tuned configuration.
+type Deployment struct {
+	Configs []CoreConfig
+	Opts    Options
+	// ISAClean and ISADetects record the final ISA verification pass:
+	// the suite's golden signatures reproduced, and injected upsets were
+	// caught by the signature compare.
+	ISAClean   bool
+	ISADetects bool
+}
+
+// Config returns the entry for a core label.
+func (d *Deployment) Config(label string) (CoreConfig, bool) {
+	for _, c := range d.Configs {
+		if c.Core == label {
+			return c, true
+		}
+	}
+	return CoreConfig{}, false
+}
+
+// FastestCores returns core labels ordered by descending idle frequency
+// at the deployed configuration — the order the manager assigns critical
+// applications in.
+func (d *Deployment) FastestCores() []string {
+	cs := append([]CoreConfig(nil), d.Configs...)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].IdleFreq != cs[j].IdleFreq {
+			return cs[i].IdleFreq > cs[j].IdleFreq
+		}
+		return cs[i].Core < cs[j].Core
+	})
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Core
+	}
+	return out
+}
+
+// SpeedDifferentialMHz returns the fastest-to-slowest deployed idle
+// frequency gap — the >200 MHz differential of Sec. VII-A.
+func (d *Deployment) SpeedDifferentialMHz() float64 {
+	if len(d.Configs) == 0 {
+		return 0
+	}
+	lo, hi := d.Configs[0].IdleFreq, d.Configs[0].IdleFreq
+	for _, c := range d.Configs {
+		if c.IdleFreq < lo {
+			lo = c.IdleFreq
+		}
+		if c.IdleFreq > hi {
+			hi = c.IdleFreq
+		}
+	}
+	return float64(hi - lo)
+}
+
+// StressTestCore finds one core's stress-test limit: the largest
+// reduction at which every stressmark of the battery passes
+// RunsPerConfig consecutive runs on every pass.
+func StressTestCore(m *chip.Machine, label string, o Options, src *rng.Source) (int, error) {
+	core, err := m.Core(label)
+	if err != nil {
+		return 0, err
+	}
+	maxR := core.Profile.MaxReduction()
+	limit := 0
+	for r := 1; r <= maxR; r++ {
+		if err := m.ProgramCPM(label, r); err != nil {
+			return 0, err
+		}
+		safe := true
+	passes:
+		for pass := 0; pass < o.Passes; pass++ {
+			psrc := src.SplitIndex("pass", pass)
+			for mi, mark := range o.Battery {
+				msrc := psrc.SplitIndex(mark.Profile.Name, mi)
+				for run := 0; run < o.RunsPerConfig; run++ {
+					tr, err := m.RunStressmark(label, mark, msrc.SplitIndex("run", run))
+					if err != nil {
+						return 0, err
+					}
+					if !tr.OK() {
+						safe = false
+						break passes
+					}
+				}
+			}
+		}
+		if !safe {
+			break
+		}
+		limit = r
+	}
+	if err := m.ProgramCPM(label, 0); err != nil {
+		return 0, err
+	}
+	return limit, nil
+}
+
+// ISAVerify executes the deployment's final path-coverage pass with the
+// executable ISA substrate: a battery of generated self-checking test
+// programs (full opcode coverage, golden signatures) run per core at the
+// deployed configuration. A clean pass means the correctness machinery
+// itself — generation, execution, signature compare — is sound; whether
+// a core's *timing* survives is the stress battery's job, and a core
+// whose trial draws an SDC manifestation must be caught by exactly this
+// signature compare.
+func ISAVerify(m *chip.Machine, programs, length int, seed uint64, src *rng.Source) (clean bool, caught bool, err error) {
+	suite := isa.NewSuite(seed, programs, length)
+	if idx := suite.Verify(); idx >= 0 {
+		return false, false, fmt.Errorf("tuning: ISA suite self-check failed at program %d", idx)
+	}
+	// Demonstrate detection: inject one register upset per program at a
+	// live point and require the signatures to catch every one.
+	caught = true
+	for i := range suite.Programs {
+		at := suite.ExecutedCount(i) / 2
+		reg := uint8(1 + src.Intn(isa.NumRegs-1))
+		if !suite.ChecksumCatches(i, at, reg, uint(src.Intn(64))) {
+			caught = false
+		}
+	}
+	return true, caught, nil
+}
+
+// Deploy runs the test-time procedure over every core and programs the
+// machine with the resulting configuration: each core at its stress-test
+// limit minus the requested rollback, in ATM mode.
+//
+// The stress-test battery is run with the *whole chip* participating
+// (the voltage virus throttles all cores synchronously), which the
+// trial model folds into the stressmark's stress score.
+func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
+	o := opts.withDefaults()
+	if o.Rollback < 0 {
+		return nil, fmt.Errorf("tuning: negative rollback %d", o.Rollback)
+	}
+	root := rng.New(o.Seed)
+	dep := &Deployment{Opts: o}
+
+	// Limits first (searches touch one core at a time).
+	m.ResetAll()
+	limits := map[string]int{}
+	for i, core := range m.AllCores() {
+		label := core.Profile.Label
+		lim, err := StressTestCore(m, label, o, root.SplitIndex(label, i))
+		if err != nil {
+			return nil, err
+		}
+		limits[label] = lim
+	}
+
+	// Program the deployment.
+	for _, core := range m.AllCores() {
+		label := core.Profile.Label
+		red := limits[label] - o.Rollback
+		if red < 0 {
+			red = 0
+		}
+		if err := m.ProgramCPM(label, red); err != nil {
+			return nil, err
+		}
+		core.SetMode(chip.ModeATM)
+	}
+
+	// Final path-coverage pass with the executable ISA substrate.
+	clean, caught, err := ISAVerify(m, 4, 400, o.Seed, root.Split("isa-verify"))
+	if err != nil {
+		return nil, err
+	}
+	dep.ISAClean = clean
+	dep.ISADetects = caught
+
+	// Frequencies at the two corners: all-idle and all-daxpy.
+	idleState, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	for _, core := range m.AllCores() {
+		core.SetWorkload(workload.Daxpy)
+	}
+	loadedState, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	for _, core := range m.AllCores() {
+		core.SetWorkload(workload.Idle)
+	}
+
+	for _, core := range m.AllCores() {
+		label := core.Profile.Label
+		ics, err := idleState.CoreState(label)
+		if err != nil {
+			return nil, err
+		}
+		lcs, err := loadedState.CoreState(label)
+		if err != nil {
+			return nil, err
+		}
+		red := limits[label] - o.Rollback
+		if red < 0 {
+			red = 0
+		}
+		dep.Configs = append(dep.Configs, CoreConfig{
+			Core:        label,
+			StressLimit: limits[label],
+			Reduction:   red,
+			IdleFreq:    ics.Freq,
+			LoadedFreq:  lcs.Freq,
+		})
+	}
+	return dep, nil
+}

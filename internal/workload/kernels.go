@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kernel is an executable micro-benchmark body with a built-in result
+// check, mirroring how the paper relies on uBench/SPEC result checkers
+// to detect silent data corruption (Sec. III-B). The simulator decides
+// *whether* a run was corrupted; the kernels provide the checked
+// computation that decision is applied to, and give the examples and
+// benchmark harness real work to time.
+type Kernel struct {
+	// Name matches the workload profile the kernel implements.
+	Name string
+	// Run executes size units of work and returns a checksum.
+	Run func(size int) uint64
+	// Expected returns the known-good checksum for a size.
+	Expected func(size int) uint64
+}
+
+// ErrSDC is returned by Check when a checksum mismatches — the silent
+// data corruption case of the failure taxonomy.
+var ErrSDC = errors.New("workload: silent data corruption detected")
+
+// Check runs the kernel and verifies its checksum.
+func (k Kernel) Check(size int) error {
+	got := k.Run(size)
+	want := k.Expected(size)
+	if got != want {
+		return fmt.Errorf("%w: %s size %d: got %#x want %#x", ErrSDC, k.Name, size, got, want)
+	}
+	return nil
+}
+
+// DaxpyKernel returns the FP-unit stressor: y ← a·x + y over float64
+// vectors, checksummed by bit pattern.
+func DaxpyKernel() Kernel {
+	run := func(size int) uint64 {
+		if size <= 0 {
+			return 0
+		}
+		x := make([]float64, size)
+		y := make([]float64, size)
+		for i := range x {
+			x[i] = float64(i%97) * 0.5
+			y[i] = float64(i%89) * 0.25
+		}
+		const a = 1.000244140625 // exactly representable; keeps checksums portable
+		for iter := 0; iter < 4; iter++ {
+			for i := range y {
+				y[i] = a*x[i] + y[i]
+			}
+		}
+		var sum uint64
+		for i := range y {
+			sum = sum*1099511628211 + uint64(int64(y[i]*16))
+		}
+		return sum
+	}
+	return Kernel{Name: "daxpy", Run: run, Expected: run}
+}
+
+// StreamKernel returns the load-store stressor: the STREAM triad
+// a ← b + s·c over arrays sized to defeat the cache.
+func StreamKernel() Kernel {
+	run := func(size int) uint64 {
+		if size <= 0 {
+			return 0
+		}
+		a := make([]float64, size)
+		b := make([]float64, size)
+		c := make([]float64, size)
+		for i := range b {
+			b[i] = float64(i % 31)
+			c[i] = float64(i % 17)
+		}
+		const s = 3.0
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+		var sum uint64
+		for i := range a {
+			sum = sum*1099511628211 + uint64(int64(a[i]))
+		}
+		return sum
+	}
+	return Kernel{Name: "stream", Run: run, Expected: run}
+}
+
+// CoremarkKernel returns the control/branch/integer stressor: a mix of
+// list-ish pointer chasing, a small state machine and CRC accumulation,
+// in the spirit of EEMBC CoreMark's three workloads.
+func CoremarkKernel() Kernel {
+	run := func(size int) uint64 {
+		if size <= 0 {
+			return 0
+		}
+		// Pointer-chase over a pseudo-random permutation.
+		n := 1024
+		next := make([]int32, n)
+		for i := range next {
+			next[i] = int32((i*167 + 13) % n)
+		}
+		var crc uint64 = 0xFFFF
+		state := 0
+		idx := int32(0)
+		for i := 0; i < size*64; i++ {
+			idx = next[idx]
+			// Branchy state machine.
+			switch state {
+			case 0:
+				if idx&1 == 0 {
+					state = 1
+				}
+			case 1:
+				if idx%3 == 0 {
+					state = 2
+				} else {
+					state = 0
+				}
+			default:
+				state = int(idx) & 1
+			}
+			// CRC-ish accumulate.
+			crc ^= uint64(idx) + uint64(state)<<7
+			crc = (crc << 5) | (crc >> 59)
+			crc *= 0x100000001B3
+		}
+		return crc
+	}
+	return Kernel{Name: "coremark", Run: run, Expected: run}
+}
+
+// UBenchKernels returns the three micro-benchmark kernels in the order
+// the characterization methodology runs them.
+func UBenchKernels() []Kernel {
+	return []Kernel{CoremarkKernel(), DaxpyKernel(), StreamKernel()}
+}
+
+// KernelFor returns the executable kernel for a micro-benchmark profile
+// name, or ok=false when the workload is profile-only.
+func KernelFor(name string) (Kernel, bool) {
+	for _, k := range UBenchKernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
