@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -318,8 +319,7 @@ func cmdTransient(args []string) error {
 			return err
 		}
 		if err := rec.WriteCSV(f); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 		if err := f.Close(); err != nil {
 			return err

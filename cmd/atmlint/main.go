@@ -1,0 +1,89 @@
+// Command atmlint runs the repository's domain-specific static
+// analyzers (internal/lint) over the module: determinism (detrand,
+// maporder), unit safety (unitsafety), float comparison hygiene
+// (floatcmp) and error hygiene (errdrop).
+//
+// Usage:
+//
+//	atmlint [-json] [-rules] [package-dir | ./...]
+//
+// With no argument (or "./...") the whole module containing the
+// current directory is linted; with a package directory, just that
+// package. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Suppress an individual finding with an annotation on the same line
+// or the line directly above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("atmlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	listRules := fs.Bool("rules", false, "list rule IDs and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: atmlint [-json] [-rules] [package-dir | ./...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %-5s %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return 0
+	}
+	wholeModule := true
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		if arg := fs.Arg(0); arg != "./..." {
+			dir, wholeModule = arg, false
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	runner := lint.Run
+	if !wholeModule {
+		runner = lint.RunDir
+	}
+	findings, err := runner(dir, lint.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.RenderJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+	} else {
+		if err := lint.Render(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "atmlint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -345,6 +345,7 @@ func (r *Report) RobustnessRank() []string {
 		all = append(all, agg{c.Core, s})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:ignore floatcmp comparator tie-break: exact inequality only routes to the secondary key, any consistent order is deterministic
 		if all[i].sum != all[j].sum {
 			return all[i].sum > all[j].sum
 		}

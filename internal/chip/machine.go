@@ -245,6 +245,7 @@ func (c *Core) PState() units.MHz { return c.pstate }
 // ladder.
 func (c *Core) SetPState(f units.MHz) error {
 	for _, p := range PStates {
+		//lint:ignore floatcmp ladder membership: a requested p-state must be bit-identical to a table entry, not merely close to one
 		if p == f {
 			c.pstate = f
 			return nil

@@ -101,6 +101,7 @@ func (m *Monitor) Measure(cycle units.Picosecond, v units.Volt) Reading {
 	slack := cycle - worstDelay
 	inv := units.Picosecond(float64(p.InvPs) * p.Scale(v))
 	u := int(float64(slack) / float64(inv))
+	//lint:ignore floatcmp exact divisibility test: u must step down unless the truncated quotient reconstructs slack bit-for-bit
 	if slack < 0 && float64(slack) != float64(u)*float64(inv) {
 		u-- // floor toward −∞ for negative slack
 	}

@@ -60,6 +60,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			//lint:ignore errdrop per-connection teardown: the peer is gone and there is no one to report a close failure to
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
@@ -71,6 +72,7 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) serveConn(conn net.Conn) {
 	sess := NewSession(s.ctl)
 	locked := &lockedSession{sess: sess, mu: &s.mu}
+	//lint:ignore errdrop a serve error is a client that hung up mid-session — normal connection lifecycle, not a server fault
 	_ = locked.serve(conn)
 }
 

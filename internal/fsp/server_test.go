@@ -19,12 +19,18 @@ func dialScript(t *testing.T, addr string, lines ...string) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore errdrop test teardown; the session already quit and the response was read
 	defer conn.Close()
 	go func() {
 		for _, l := range lines {
-			fmt.Fprintln(conn, l)
+			if _, err := fmt.Fprintln(conn, l); err != nil {
+				t.Errorf("send %q: %v", l, err)
+				return
+			}
 		}
-		fmt.Fprintln(conn, "quit")
+		if _, err := fmt.Fprintln(conn, "quit"); err != nil {
+			t.Errorf("send quit: %v", err)
+		}
 	}()
 	var out []string
 	sc := bufio.NewScanner(conn)

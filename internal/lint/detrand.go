@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetRand forbids ambient nondeterminism inside simulation packages:
+// math/rand (stream output is not stable across Go releases), wall
+// clock reads (time.Now / time.Since), and environment reads
+// (os.Getenv / os.LookupEnv / os.Environ). Every stochastic draw must
+// come from the seeded, splittable generator in internal/rng, and
+// every "time" in the simulator is simulated time, so the invariant
+// for bit-reproducible experiments (DESIGN.md §3) is: no source of
+// entropy the seed does not control.
+var DetRand = &Analyzer{
+	Name:     "detrand",
+	Doc:      "forbid math/rand, wall-clock and environment reads in simulation packages",
+	Severity: SeverityError,
+	Run:      runDetRand,
+}
+
+// bannedFuncs maps package path → function names whose use inside a
+// simulation package breaks seeded reproducibility.
+var bannedFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "its streams are not stable across Go releases",
+	"math/rand/v2": "its streams are not seed-reproducible here",
+	"crypto/rand":  "it is entropy the seed does not control",
+}
+
+func runDetRand(pass *Pass) {
+	path := pass.Pkg.Path()
+	if !pass.Config.isSimPackage(path) || path == pass.Config.RNGPackage {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[p]; ok {
+				pass.Reportf(imp.Pos(),
+					"simulation package imports %q (%s); draw from %s instead",
+					p, why, pass.Config.RNGPackage)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			banned, ok := bannedFuncs[pkgName.Imported().Path()]
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"simulation package calls %s.%s: wall-clock and environment reads break seeded reproducibility",
+				pkgName.Imported().Path(), sel.Sel.Name)
+			return true
+		})
+	}
+}

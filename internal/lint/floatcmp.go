@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags == and != between floating-point operands outside
+// test files. Exact float equality is almost always a latent bug in
+// physics code — two mathematically equal computations differ in the
+// last ulp — and the handful of legitimate uses (sentinel zeros,
+// draw-again loops) must say so with a //lint:ignore annotation.
+//
+// Two idioms are recognized and allowed:
+//
+//   - x != x (and x == x): the NaN check;
+//   - comparison against the exact constant zero: Go's zero-value
+//     "field unset" sentinel and the division guard (if denom == 0)
+//     are exact by construction, not rounding-sensitive.
+//
+// Ordered comparisons (<, <=, >, >=) are not flagged: they degrade
+// gracefully under rounding. Use stats.ApproxEqual for tolerance
+// comparison.
+var FloatCmp = &Analyzer{
+	Name:     "floatcmp",
+	Doc:      "forbid ==/!= between floating-point values outside tests",
+	Severity: SeverityWarn,
+	Run:      runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(bin.X)) || !isFloat(pass.Info.TypeOf(bin.Y)) {
+				return true
+			}
+			if sameExpr(bin.X, bin.Y) {
+				return true // x != x / x == x: the NaN-check idiom
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true // unset-sentinel / division-guard idiom
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison: use stats.ApproxEqual (or annotate an intentional exact compare with //lint:ignore floatcmp <reason>)",
+				bin.Op)
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to
+// exactly zero (a literal 0, or a named constant with that value).
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type (covering named unit types, whose underlying is float64).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are structurally identical
+// simple references (an identifier or selector chain) — enough to
+// recognize x != x and a.b != a.b.
+func sameExpr(a, b ast.Expr) bool {
+	switch ea := a.(type) {
+	case *ast.Ident:
+		eb, ok := b.(*ast.Ident)
+		return ok && ea.Name == eb.Name
+	case *ast.SelectorExpr:
+		eb, ok := b.(*ast.SelectorExpr)
+		return ok && ea.Sel.Name == eb.Sel.Name && sameExpr(ea.X, eb.X)
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Run loads every package under the module containing dir and applies
+// every registered analyzer, honoring //lint:ignore directives. The
+// returned findings are deterministically sorted; file paths are
+// relative to the module root so output is stable across checkouts.
+func Run(dir string, cfg *Config) ([]Finding, error) {
+	return run(dir, cfg, func(l *Loader) ([]*Package, error) {
+		return l.LoadAll()
+	})
+}
+
+// RunDir lints the single package in dir (which must sit inside a
+// module), with the same directive handling and ordering as Run.
+func RunDir(dir string, cfg *Config) ([]Finding, error) {
+	return run(dir, cfg, func(l *Loader) ([]*Package, error) {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return []*Package{pkg}, nil
+	})
+}
+
+func run(dir string, cfg *Config, load func(*Loader) ([]*Package, error)) ([]Finding, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := load(loader)
+	if err != nil {
+		return nil, err
+	}
+	findings := Analyze(loader, pkgs, cfg, Analyzers())
+	for i := range findings {
+		if rel, err := filepath.Rel(loader.root, findings[i].File); err == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Analyze applies analyzers to the given packages, suppressing
+// findings covered by //lint:ignore directives and reporting malformed
+// directives. Findings are sorted before being returned.
+func Analyze(loader *Loader, pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		ignores := map[int][]ignoreDirective{}
+		for _, file := range pkg.Files {
+			for line, ds := range parseIgnores(loader.fset, file, func(f Finding) {
+				all = append(all, f) // malformed directives are not suppressible
+			}) {
+				ignores[line] = append(ignores[line], ds...)
+			}
+		}
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Config:   cfg,
+				report:   func(f Finding) { raw = append(raw, f) },
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !suppressed(f, ignores) {
+				all = append(all, f)
+			}
+		}
+	}
+	sortFindings(all)
+	return all
+}
+
+// Render writes findings one per line in file:line:col form.
+func Render(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes findings as an indented JSON array (an empty
+// array, not null, when there are none) followed by a newline.
+func RenderJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

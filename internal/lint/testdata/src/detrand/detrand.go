@@ -1,0 +1,27 @@
+// Package detrand is a lint fixture: every construct detrand must
+// flag inside a simulation package, plus the allowed alternatives.
+package detrand
+
+import (
+	"math/rand" // want "simulation package imports \"math/rand\""
+	"os"
+	"time"
+)
+
+// Bad: every ambient-entropy source the rule bans.
+func Bad() float64 {
+	t0 := time.Now()          // want "calls time.Now"
+	elapsed := time.Since(t0) // want "calls time.Since"
+	_ = os.Getenv("SEED")     // want "calls os.Getenv"
+	return rand.Float64() + elapsed.Seconds()
+}
+
+// BadIndirect: taking the function value (not calling it) is still a
+// wall-clock dependency.
+var now = time.Now // want "calls time.Now"
+
+// Good: deterministic work and simulated time are fine.
+func Good(step int) float64 {
+	const dt = 0.25e-3 // simulated control-interval seconds
+	return float64(step) * dt
+}

@@ -1,0 +1,39 @@
+// Package errdrop is a lint fixture: every way to lose an error, and
+// the allowlisted sinks that may keep chattering.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error            { return nil }
+func mayFailWith() (int, error) { return 0, nil }
+
+// Bad: all three dropping shapes.
+func Bad(f *os.File) {
+	mayFail()             // want "error returned by mayFail unchecked"
+	defer mayFail()       // want "error returned by mayFail dropped by defer"
+	go mayFail()          // want "error returned by mayFail dropped by go statement"
+	_ = mayFail()         // want "error discarded with blank assignment"
+	_, _ = mayFailWith()  // want "error discarded with blank assignment"
+	fmt.Fprintln(f, "hi") // want "error returned by fmt.Fprintln unchecked"
+}
+
+// Good: handled, propagated, or allowlisted.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := mayFailWith()
+	if err != nil {
+		return err
+	}
+	fmt.Println("count", n)             // stdout chatter: allowlisted
+	fmt.Fprintln(os.Stderr, "progress") // std stream: allowlisted
+	var b strings.Builder
+	b.WriteString("never errors") // Builder: allowlisted
+	_ = b.String()
+	return nil
+}

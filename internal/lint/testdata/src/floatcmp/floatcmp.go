@@ -1,0 +1,33 @@
+// Package floatcmp is a lint fixture: exact float comparisons the
+// rule must flag, and the idioms it must allow.
+package floatcmp
+
+import "repro/internal/units"
+
+// Bad: computed-value equality in all its costumes.
+func Bad(a, b float64, f units.MHz, g units.MHz) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a/3*3 != b { // want "floating-point != comparison"
+		return false
+	}
+	return f == g // want "floating-point == comparison"
+}
+
+// GoodZero: the unset-sentinel / division-guard idiom is allowed.
+func GoodZero(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// GoodNaN: the self-comparison NaN check is allowed.
+func GoodNaN(x float64) bool { return x != x }
+
+// GoodOrdered: ordered comparisons degrade gracefully and pass.
+func GoodOrdered(a, b float64) bool { return a <= b }
+
+// GoodInts: integer equality is not this rule's business.
+func GoodInts(a, b int) bool { return a == b }

@@ -1,0 +1,41 @@
+// Package ignoredir is a lint fixture for the //lint:ignore directive
+// machinery itself: suppression on the same line and the line above,
+// multi-rule directives, and the malformed shapes reported under the
+// rule ID "ignore".
+package ignoredir
+
+// GoodSuppressedAbove: a violation silenced by the preceding line.
+func GoodSuppressedAbove(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact compare is the point here
+	return a == b
+}
+
+// GoodSuppressedSameLine: a violation silenced by a trailing comment.
+func GoodSuppressedSameLine(a, b float64) bool {
+	return a != b //lint:ignore floatcmp fixture: exact compare is the point here
+}
+
+// GoodMultiRule: one directive may name several rules.
+func GoodMultiRule(a, b float64) bool {
+	//lint:ignore floatcmp,maporder fixture: both rules named
+	return a == b
+}
+
+// BadStillFires: a directive for a different rule does not suppress.
+func BadStillFires(a, b float64) bool {
+	//lint:ignore maporder fixture: wrong rule, floatcmp still fires
+	return a == b // want "floating-point == comparison"
+}
+
+//lint:ignore floatcmp
+// want-above "malformed //lint:ignore directive"
+
+//lint:ignore nosuchrule reason text
+// want-above "unknown rule \"nosuchrule\""
+
+// BadTooFar: a directive two lines up does not reach.
+func BadTooFar(a, b float64) bool {
+	//lint:ignore floatcmp fixture: too far away
+
+	return a == b // want "floating-point == comparison"
+}

@@ -1,0 +1,91 @@
+// Package maporder is a lint fixture: order-sensitive work inside
+// range-over-map loops, plus every recognized safe idiom.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// BadAppend accumulates map keys and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside range over map without a later sort"
+	}
+	return keys
+}
+
+// BadPrint writes output in iteration order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside range over map"
+	}
+}
+
+// BadRNG consumes the deterministic stream in map order.
+func BadRNG(m map[string]int, src *rng.Source) float64 {
+	total := 0.0
+	for range m {
+		total += src.Float64() // want "RNG draw inside range over map"
+	}
+	return total
+}
+
+// BadSend feeds a channel in iteration order.
+func BadSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// BadWriter records rows in iteration order through a sink method.
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func BadTable(m map[string]int, t *table) {
+	for k := range m {
+		t.AddRow(k) // want "AddRow inside range over map"
+	}
+}
+
+// GoodCollectSort is the blessed idiom: collect, then sort.
+func GoodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice also counts: any stdlib sort establishes the order.
+func GoodSortSlice(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// GoodAggregate: order-independent reductions are never flagged.
+func GoodAggregate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// GoodMapToMap: writes keyed by the same keys commute.
+func GoodMapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

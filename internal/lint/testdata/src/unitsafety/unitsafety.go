@@ -1,0 +1,44 @@
+// Package unitsafety is a lint fixture: the two unit leaks Go's type
+// system permits, and the legitimate patterns around them.
+package unitsafety
+
+import "repro/internal/units"
+
+// BadTransmute: converting one unit directly into another compiles
+// (both are float64 underneath) and silently changes dimension.
+func BadTransmute(v units.Volt) units.MHz {
+	return units.MHz(v) // want "transmutes units"
+}
+
+func BadTransmuteDelay(f units.MHz) units.Picosecond {
+	return units.Picosecond(f) // want "transmutes units"
+}
+
+// BadMix: additive arithmetic across stripped units is dimensionally
+// invalid.
+func BadMix(v units.Volt, d units.Picosecond) float64 {
+	return float64(v) + float64(d) // want "mixes stripped Volt and Picosecond"
+}
+
+func BadMixSub(w units.Watt, c units.Celsius) float64 {
+	return float64(w) - float64(c) // want "mixes stripped Watt and Celsius"
+}
+
+// GoodSameUnit: stripping both sides of one dimension is fine.
+func GoodSameUnit(a, b units.Volt) float64 {
+	return float64(a) - float64(b)
+}
+
+// GoodProduct: multiplicative arithmetic legitimately changes
+// dimension (loadline: volts drop = ohms x watts / volts).
+func GoodProduct(r float64, p units.Watt, v units.Volt) units.Volt {
+	return units.Volt(r * float64(p) / float64(v))
+}
+
+// GoodConstruct: building a unit from a plain float is the normal way
+// quantities enter the system.
+func GoodConstruct(mhz float64) units.MHz { return units.MHz(mhz) }
+
+// GoodExplicit: the blessed cross-domain conversion goes through the
+// physical relation, not a cast.
+func GoodExplicit(f units.MHz) units.Picosecond { return f.CycleTime() }

@@ -203,6 +203,7 @@ func (ps *PredictorSet) CoresBySpeed(labels []string, at units.Watt) []string {
 	sort.Slice(out, func(i, j int) bool {
 		fi := ps.Freq[out[i]].Predict(at)
 		fj := ps.Freq[out[j]].Predict(at)
+		//lint:ignore floatcmp comparator tie-break: exact inequality only routes to the secondary key, any consistent order is deterministic
 		if fi != fj {
 			return fi > fj
 		}

@@ -114,6 +114,7 @@ func (s *Source) Exp(rate float64) float64 {
 // the failure model uses Gumbel rather than normal tails.
 func (s *Source) Gumbel(mu, beta float64) float64 {
 	u := s.Float64()
+	//lint:ignore floatcmp exact endpoint rejection: Float64 can emit these exact values and either makes the double Log infinite
 	for u == 0 || u == 1 {
 		u = s.Float64()
 	}

@@ -104,6 +104,7 @@ func (s *Simulator) idleCore(label string, p Policy) error {
 			if err := dvfs.Apply(core, g, 0.0); err != nil {
 				return err
 			}
+			//lint:ignore floatcmp p-states are discrete ladder entries copied verbatim, not recomputed; exact identity is the intended "no further step" check
 			if core.PState() == before {
 				break
 			}

@@ -14,6 +14,26 @@ import (
 // than it was given.
 var ErrInsufficientData = errors.New("stats: insufficient data")
 
+// ApproxEqual reports whether a and b agree to within tol, absolutely
+// for small magnitudes and relatively for large ones. It is the
+// epsilon comparison the floatcmp lint rule points at: exact ==/!= on
+// computed floats differs in the last ulp between mathematically equal
+// expressions.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { //lint:ignore floatcmp fast path; also makes Inf == Inf true
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) || math.IsNaN(diff) {
+		return false // unequal infinities, or a NaN operand
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -216,3 +216,30 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Error("empty histogram aggregates non-zero")
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	// Runtime arithmetic so the compiler cannot constant-fold the sum
+	// exactly; tenth+fifth carries the classic last-ulp residue vs 0.3.
+	tenth, fifth := 0.1, 0.2
+	sum := tenth + fifth
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 1e-9, true},                   // identical
+		{sum, 0.3, 1e-9, true},                   // classic rounding residue
+		{sum, 0.3, 1e-18, false},                 // residue exceeds a tiny tol
+		{1e9, 1e9 + 1, 1e-6, true},               // relative for large magnitudes
+		{1e9, 1.001e9, 1e-6, false},              // relative miss
+		{0, 1e-12, 1e-9, true},                   // absolute near zero
+		{0, 1e-6, 1e-9, false},                   // absolute miss near zero
+		{math.Inf(1), math.Inf(1), 1e-9, true},   // fast path covers infinities
+		{math.Inf(1), math.Inf(-1), 1e-9, false}, // opposite infinities differ
+		{math.NaN(), math.NaN(), 1e-9, false},    // NaN equals nothing
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

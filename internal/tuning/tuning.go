@@ -106,6 +106,7 @@ func (d *Deployment) Config(label string) (CoreConfig, bool) {
 func (d *Deployment) FastestCores() []string {
 	cs := append([]CoreConfig(nil), d.Configs...)
 	sort.Slice(cs, func(i, j int) bool {
+		//lint:ignore floatcmp comparator tie-break: exact inequality only routes to the secondary key, any consistent order is deterministic
 		if cs[i].IdleFreq != cs[j].IdleFreq {
 			return cs[i].IdleFreq > cs[j].IdleFreq
 		}
