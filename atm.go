@@ -37,6 +37,7 @@ import (
 	"repro/internal/charact"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/manage"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -83,6 +84,13 @@ type (
 	DeployOptions = tuning.Options
 	// Deployment is a server's deployed fine-tuned configuration.
 	Deployment = tuning.Deployment
+
+	// FaultProfile describes deterministic fault injection: per-layer
+	// rates for CPM upsets, telemetry errors, transport loss, and
+	// harness failures.
+	FaultProfile = fault.Profile
+	// FaultInjector arms a FaultProfile on a machine and controller.
+	FaultInjector = fault.Injector
 
 	// Manager is the managed-ATM scheduler.
 	Manager = manage.Manager
@@ -215,6 +223,19 @@ func NewJobSimulator(m *Machine, dep *Deployment, chipLabel string) (*JobSimulat
 func GenerateJobTrace(o SchedOptions, seed uint64) []Job {
 	return sched.GenerateTrace(o, rng.New(seed))
 }
+
+// ParseFaultProfile builds a fault profile from a spec string: a preset
+// name ("test-floor", "flaky-fsp", "noisy-cpm", "broken-core", "none"),
+// a key=value list ("trial-err=0.1,broken=1"), or a preset with
+// overrides ("test-floor,drop=0.3").
+func ParseFaultProfile(spec string) (FaultProfile, error) { return fault.ParseProfile(spec) }
+
+// FaultPresetNames lists the named fault profiles in sorted order.
+func FaultPresetNames() []string { return fault.PresetNames() }
+
+// NewFaultInjector builds an injector whose every fault replays
+// bit-for-bit from (profile, seed).
+func NewFaultInjector(p FaultProfile, seed uint64) *FaultInjector { return fault.New(p, seed) }
 
 // ReferenceTableIRow returns the paper's published Table I limits for a
 // reference core label, for comparing regenerated results against the

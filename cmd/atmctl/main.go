@@ -115,15 +115,43 @@ func machineFlag(fs *flag.FlagSet) func() (*atm.Machine, error) {
 	}
 }
 
+// faultFlag adds the -fault-profile and -fault-seed flags and returns an
+// armer that installs the requested faults on a machine. The armer
+// returns nil when no faults were requested, so fault-free runs take
+// exactly the code path (and RNG streams) they did before this flag
+// existed.
+func faultFlag(fs *flag.FlagSet) func(*atm.Machine) (*atm.FaultInjector, error) {
+	profile := fs.String("fault-profile", "",
+		"inject deterministic faults: preset (test-floor, flaky-fsp, noisy-cpm, broken-core) or key=value list")
+	seed := fs.Uint64("fault-seed", 1, "fault injection seed")
+	return func(m *atm.Machine) (*atm.FaultInjector, error) {
+		p, err := atm.ParseFaultProfile(*profile)
+		if err != nil {
+			return nil, err
+		}
+		if p.Empty() {
+			return nil, nil
+		}
+		inj := atm.NewFaultInjector(p, *seed)
+		inj.ArmMachine(m)
+		return inj, nil
+	}
+}
+
 func cmdCharacterize(args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	trials := fs.Int("trials", 10, "repeated trials per (core, workload)")
 	seed := fs.Uint64("seed", 1, "trial seed")
 	build := machineFlag(fs)
+	arm := faultFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	m, err := build()
+	if err != nil {
+		return err
+	}
+	inj, err := arm(m)
 	if err != nil {
 		return err
 	}
@@ -135,11 +163,28 @@ func cmdCharacterize(args []string) error {
 		Title:  "ATM reconfiguration limits",
 		Header: []string{"core", "idle", "uBench", "thread normal", "thread worst", "idle freq (MHz)"},
 	}
+	if inj != nil {
+		t.Header = append(t.Header, "status")
+	}
+	quarantined := 0
 	for _, c := range rep.Cores {
-		t.AddRow(c.Core,
+		row := []string{c.Core,
 			fmt.Sprintf("%d", c.Idle.Limit), fmt.Sprintf("%d", c.UBenchLimit),
 			fmt.Sprintf("%d", c.ThreadNormal), fmt.Sprintf("%d", c.ThreadWorst),
-			report.F(float64(c.IdleFreq), 0))
+			report.F(float64(c.IdleFreq), 0)}
+		if inj != nil {
+			status := "ok"
+			if c.Quarantined {
+				status = "quarantined"
+				quarantined++
+			}
+			row = append(row, status)
+		}
+		t.AddRow(row...)
+	}
+	if inj != nil {
+		t.Note = fmt.Sprintf("faults armed: %s (seed %d); %d core(s) quarantined",
+			inj.Profile(), inj.Seed(), quarantined)
 	}
 	return t.Render(os.Stdout)
 }
@@ -148,10 +193,15 @@ func cmdTune(args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
 	rollback := fs.Int("rollback", 0, "safety steps below the stress-test limit")
 	build := machineFlag(fs)
+	arm := faultFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	m, err := build()
+	if err != nil {
+		return err
+	}
+	inj, err := arm(m)
 	if err != nil {
 		return err
 	}
@@ -164,9 +214,24 @@ func cmdTune(args []string) error {
 		Header: []string{"core", "stress limit", "deployed reduction", "idle freq (MHz)", "loaded freq (MHz)"},
 		Note:   fmt.Sprintf("inter-core speed differential: %.0f MHz", dep.SpeedDifferentialMHz()),
 	}
+	if inj != nil {
+		t.Header = append(t.Header, "mode")
+	}
 	for _, cfg := range dep.Configs {
-		t.AddRow(cfg.Core, fmt.Sprintf("%d", cfg.StressLimit), fmt.Sprintf("%d", cfg.Reduction),
-			report.F(float64(cfg.IdleFreq), 0), report.F(float64(cfg.LoadedFreq), 0))
+		row := []string{cfg.Core, fmt.Sprintf("%d", cfg.StressLimit), fmt.Sprintf("%d", cfg.Reduction),
+			report.F(float64(cfg.IdleFreq), 0), report.F(float64(cfg.LoadedFreq), 0)}
+		if inj != nil {
+			mode := "ATM"
+			if cfg.Quarantined {
+				mode = "static (quarantined)"
+			}
+			row = append(row, mode)
+		}
+		t.AddRow(row...)
+	}
+	if inj != nil {
+		t.Note += fmt.Sprintf("; faults armed: %s (seed %d); quarantined: %d",
+			inj.Profile(), inj.Seed(), len(dep.Quarantined()))
 	}
 	return t.Render(os.Stdout)
 }

@@ -19,6 +19,7 @@
 package charact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,10 @@ type Options struct {
 	// Apps overrides the realistic workload set (default: the full
 	// SPEC + PARSEC + DNN library).
 	Apps []workload.Profile
+	// TrialRetries is the budget of extra attempts for a trial that
+	// fails with a transient harness error (chip.ErrTransient) before
+	// the core is quarantined. Default 2; negative disables retrying.
+	TrialRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +69,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Apps == nil {
 		o.Apps = workload.Realistic()
+	}
+	if o.TrialRetries == 0 {
+		o.TrialRetries = 2
+	}
+	if o.TrialRetries < 0 {
+		o.TrialRetries = 0
 	}
 	return o
 }
@@ -114,6 +125,15 @@ type CoreResult struct {
 	// ThreadNormal and ThreadWorst are Table I rows 3 and 4.
 	ThreadNormal int
 	ThreadWorst  int
+
+	// Quarantined marks a core whose trials kept failing with transient
+	// harness errors after the retry budget: the methodology reports it
+	// (with whatever stages completed zeroed) instead of aborting the
+	// whole characterization. A deployment must fall back to static
+	// margin for such a core.
+	Quarantined bool
+	// QuarantineReason is the persistent error that earned quarantine.
+	QuarantineReason string
 }
 
 // Report is the full characterization of a machine.
@@ -152,7 +172,17 @@ func Characterize(m *chip.Machine, opts Options) (*Report, error) {
 		src := root.SplitIndex(label, ci)
 		res, err := characterizeCore(m, label, o, src)
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, chip.ErrTransient) {
+				return nil, err
+			}
+			// The harness kept failing on this core through the retry
+			// budget: quarantine it and keep characterizing the rest of
+			// the machine. The report carries the reason; a deployment
+			// must leave this core at static margin.
+			res = quarantinedResult(label, err)
+			if perr := m.ProgramCPM(label, 0); perr != nil {
+				return nil, perr
+			}
 		}
 		chipLabel := label[:2]
 		if cs, err := idleState.ChipState(chipLabel); err == nil {
@@ -167,6 +197,22 @@ func Characterize(m *chip.Machine, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// quarantinedResult builds the report entry for a core whose harness
+// never stabilized: every numeric field zeroed, containers non-nil so
+// downstream consumers need no special-casing beyond the flag.
+func quarantinedResult(label string, cause error) CoreResult {
+	return CoreResult{
+		Core:             label,
+		Idle:             Distribution{Core: label, Workload: workload.Idle.Name, Hist: stats.NewHistogram()},
+		UBenchRollback:   stats.NewHistogram(),
+		PerKernelLimit:   map[string]int{},
+		AppLimit:         map[string]int{},
+		AppRollbackMean:  map[string]float64{},
+		Quarantined:      true,
+		QuarantineReason: cause.Error(),
+	}
+}
+
 // characterizeCore runs the three methodology stages for one core.
 func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source) (CoreResult, error) {
 	res := CoreResult{
@@ -177,7 +223,7 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 	}
 
 	// Stage 1: system idle, upward sweep.
-	idle, err := FindLimit(m, label, workload.Idle, o.Trials, o.RunsPerConfig, src.Split("idle"))
+	idle, err := findLimit(m, label, workload.Idle, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("idle"))
 	if err != nil {
 		return CoreResult{}, err
 	}
@@ -187,7 +233,7 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 	res.UBenchRollback = stats.NewHistogram()
 	res.UBenchLimit = idle.Limit
 	for _, ub := range workload.UBench() {
-		d, err := FindRollback(m, label, ub, idle.Limit, o.Trials, o.RunsPerConfig, src.Split("ubench/"+ub.Name))
+		d, err := findRollback(m, label, ub, idle.Limit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("ubench/"+ub.Name))
 		if err != nil {
 			return CoreResult{}, err
 		}
@@ -206,7 +252,7 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 	worst := res.UBenchLimit
 	normal := res.UBenchLimit
 	for _, app := range o.Apps {
-		d, err := FindRollback(m, label, app, res.UBenchLimit, o.Trials, o.RunsPerConfig, src.Split("app/"+app.Name))
+		d, err := findRollback(m, label, app, res.UBenchLimit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("app/"+app.Name))
 		if err != nil {
 			return CoreResult{}, err
 		}
@@ -226,9 +272,13 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 
 // configSafe runs the workload runs times at the machine's current
 // configuration; the configuration is safe only when every run passes.
-func configSafe(m *chip.Machine, label string, w workload.Profile, runs int, src *rng.Source) (bool, error) {
+// A run that fails with a transient harness error is retried up to
+// retries extra attempts (chip.RunTrialRetry); attempt 0 always draws
+// from the same stream as retry-free code, so a fault-free machine
+// yields byte-identical results regardless of the budget.
+func configSafe(m *chip.Machine, label string, w workload.Profile, runs, retries int, src *rng.Source) (bool, error) {
 	for i := 0; i < runs; i++ {
-		tr, err := m.RunTrial(label, w, src.SplitIndex("run", i))
+		tr, err := m.RunTrialRetry(label, w, src.SplitIndex("run", i), retries)
 		if err != nil {
 			return false, err
 		}
@@ -242,7 +292,13 @@ func configSafe(m *chip.Machine, label string, w workload.Profile, runs int, src
 // FindLimit performs the idle-style upward search: per trial, increase
 // the reduction from 0 until the first failure; the trial's limit is the
 // last safe configuration. Returns the distribution over trials.
+// Transient harness failures are not retried; use Characterize with
+// Options.TrialRetries for the fault-tolerant path.
 func FindLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPerConfig int, src *rng.Source) (Distribution, error) {
+	return findLimit(m, label, w, trials, runsPerConfig, 0, src)
+}
+
+func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPerConfig, retries int, src *rng.Source) (Distribution, error) {
 	core, err := m.Core(label)
 	if err != nil {
 		return Distribution{}, err
@@ -256,7 +312,7 @@ func FindLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPe
 			if err := m.ProgramCPM(label, r); err != nil {
 				return Distribution{}, err
 			}
-			ok, err := configSafe(m, label, w, runsPerConfig, tsrc.SplitIndex("r", r))
+			ok, err := configSafe(m, label, w, runsPerConfig, retries, tsrc.SplitIndex("r", r))
 			if err != nil {
 				return Distribution{}, err
 			}
@@ -278,8 +334,13 @@ func FindLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPe
 // FindRollback performs the uBench/application-style search: per trial,
 // start at the given configuration and roll the reduction back until the
 // workload runs correctly (Sec. V-B). Returns the distribution of safe
-// configurations over trials.
+// configurations over trials. Like FindLimit, it does not retry
+// transient harness failures.
 func FindRollback(m *chip.Machine, label string, w workload.Profile, start, trials, runsPerConfig int, src *rng.Source) (Distribution, error) {
+	return findRollback(m, label, w, start, trials, runsPerConfig, 0, src)
+}
+
+func findRollback(m *chip.Machine, label string, w workload.Profile, start, trials, runsPerConfig, retries int, src *rng.Source) (Distribution, error) {
 	d := Distribution{Core: label, Workload: w.Name, Hist: stats.NewHistogram()}
 	for t := 0; t < trials; t++ {
 		tsrc := src.SplitIndex("trial", t)
@@ -288,7 +349,7 @@ func FindRollback(m *chip.Machine, label string, w workload.Profile, start, tria
 			if err := m.ProgramCPM(label, r); err != nil {
 				return Distribution{}, err
 			}
-			ok, err := configSafe(m, label, w, runsPerConfig, tsrc.SplitIndex("r", r))
+			ok, err := configSafe(m, label, w, runsPerConfig, retries, tsrc.SplitIndex("r", r))
 			if err != nil {
 				return Distribution{}, err
 			}
@@ -311,6 +372,9 @@ func FindRollback(m *chip.Machine, label string, w workload.Profile, start, tria
 type TableIRow struct {
 	Core                        string
 	Idle, UBench, Normal, Worst int
+	// Quarantined marks a row whose limits are meaningless: the core's
+	// harness never stabilized and it must stay at static margin.
+	Quarantined bool
 }
 
 // TableI extracts the Table I reproduction from a report, in core order.
@@ -318,11 +382,12 @@ func (r *Report) TableI() []TableIRow {
 	rows := make([]TableIRow, 0, len(r.Cores))
 	for _, c := range r.Cores {
 		rows = append(rows, TableIRow{
-			Core:   c.Core,
-			Idle:   c.Idle.Limit,
-			UBench: c.UBenchLimit,
-			Normal: c.ThreadNormal,
-			Worst:  c.ThreadWorst,
+			Core:        c.Core,
+			Idle:        c.Idle.Limit,
+			UBench:      c.UBenchLimit,
+			Normal:      c.ThreadNormal,
+			Worst:       c.ThreadWorst,
+			Quarantined: c.Quarantined,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Core < rows[j].Core })
@@ -338,6 +403,9 @@ func (r *Report) RobustnessRank() []string {
 	}
 	var all []agg
 	for _, c := range r.Cores {
+		if c.Quarantined {
+			continue
+		}
 		s := 0.0
 		for _, v := range c.AppRollbackMean {
 			s += v
@@ -359,9 +427,13 @@ func (r *Report) RobustnessRank() []string {
 }
 
 // Validate sanity-checks the report's internal consistency: limits must
-// be monotone across methodology stages on every core.
+// be monotone across methodology stages on every characterized core.
+// Quarantined cores carry no limits and are skipped.
 func (r *Report) Validate() error {
 	for _, c := range r.Cores {
+		if c.Quarantined {
+			continue
+		}
 		if c.UBenchLimit > c.Idle.Limit {
 			return fmt.Errorf("charact: %s uBench limit %d above idle limit %d",
 				c.Core, c.UBenchLimit, c.Idle.Limit)

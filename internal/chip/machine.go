@@ -95,7 +95,14 @@ type Machine struct {
 	profile *silicon.ServerProfile
 	power   PowerModel
 	Chips   []*Chip
+
+	// trialFault, when non-nil, is consulted after every trial so a
+	// fault injector can emulate a flaky test harness (see trial.go).
+	trialFault TrialFault
 }
+
+// SetTrialFault arms (or, with nil, disarms) the trial fault hook.
+func (m *Machine) SetTrialFault(f TrialFault) { m.trialFault = f }
 
 // Options configures machine construction.
 type Options struct {

@@ -1,11 +1,27 @@
 package chip
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
+
+// ErrTransient marks infrastructure failures of the test procedure
+// itself — a flaky harness, a telemetry upset — as opposed to a timing
+// violation of the silicon under test or a structural model error.
+// Callers running characterization or deployment procedures may retry
+// operations that fail with an error wrapping ErrTransient; any other
+// error is a bug and must abort.
+var ErrTransient = errors.New("transient infrastructure fault")
+
+// TrialFault is an injection hook consulted after every trial: it may
+// pass the result through unchanged, perturb it, or return an error
+// (wrapping ErrTransient for retryable harness failures). It exists so
+// internal/fault can arm spurious trial failures without the simulation
+// packages importing the injector.
+type TrialFault func(label, workload string, res TrialResult) (TrialResult, error)
 
 // FailureKind classifies how a run failed (Sec. III-B: "abnormal
 // application termination (e.g., segmentation fault), silent data
@@ -61,6 +77,21 @@ func (r TrialResult) OK() bool { return r.Failure == FailureNone }
 // depends on the workload's checker (SDCs in checker-less programs
 // escape — which is why the methodology insists on checked workloads).
 func (m *Machine) RunTrial(label string, w workload.Profile, src *rng.Source) (TrialResult, error) {
+	res, err := m.runTrialModel(label, w, src)
+	if err != nil {
+		return res, err
+	}
+	if m.trialFault != nil {
+		// The harness can fail independently of how the silicon behaved:
+		// the hook sees every trial, clean or not.
+		return m.trialFault(label, w.Name, res)
+	}
+	return res, nil
+}
+
+// runTrialModel is the physical trial: the failure model without any
+// injected harness faults.
+func (m *Machine) runTrialModel(label string, w workload.Profile, src *rng.Source) (TrialResult, error) {
 	core, err := m.Core(label)
 	if err != nil {
 		return TrialResult{}, err
@@ -128,7 +159,41 @@ func (m *Machine) RunStressmark(label string, s workload.Stressmark, src *rng.So
 	}
 	res, err := m.RunTrial(label, s.Profile, src)
 	if err != nil {
-		return TrialResult{}, err
+		return res, err
 	}
 	return res, nil
+}
+
+// retryTransient runs one trial attempt through run, retrying up to
+// retries additional times when the attempt fails with an error wrapping
+// ErrTransient. Attempt 0 draws from src itself — so with no faults
+// armed the stream consumed is identical to a plain single run — and
+// each retry draws from an independent split, keeping the parent stream
+// untouched.
+func retryTransient(run func(*rng.Source) (TrialResult, error), src *rng.Source, retries int) (TrialResult, error) {
+	res, err := run(src)
+	for a := 1; a <= retries && err != nil && errors.Is(err, ErrTransient); a++ {
+		res, err = run(src.SplitIndex("retry", a))
+	}
+	if err != nil && errors.Is(err, ErrTransient) && retries > 0 {
+		return res, fmt.Errorf("%w (persisted through %d retries)", err, retries)
+	}
+	return res, err
+}
+
+// RunTrialRetry is RunTrial with a bounded retry budget for transient
+// harness failures (ErrTransient). Genuine model errors and timing
+// violations are never retried.
+func (m *Machine) RunTrialRetry(label string, w workload.Profile, src *rng.Source, retries int) (TrialResult, error) {
+	return retryTransient(func(s *rng.Source) (TrialResult, error) {
+		return m.RunTrial(label, w, s)
+	}, src, retries)
+}
+
+// RunStressmarkRetry is RunStressmark with a bounded retry budget for
+// transient harness failures.
+func (m *Machine) RunStressmarkRetry(label string, s workload.Stressmark, src *rng.Source, retries int) (TrialResult, error) {
+	return retryTransient(func(r *rng.Source) (TrialResult, error) {
+		return m.RunStressmark(label, s, r)
+	}, src, retries)
 }

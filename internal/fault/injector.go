@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/cpm"
+	"repro/internal/fsp"
+	"repro/internal/rng"
+)
+
+// Injector arms a Profile on a platform. All randomness descends from
+// one seeded root via labelled splits, so every armed layer draws an
+// independent deterministic stream: the same (profile, seed) replays
+// the same upsets, drops and broken cores regardless of which other
+// layers are armed.
+//
+// An injector's streams are not concurrency-safe; each armed hook is
+// expected to be driven from one goroutine at a time (the simulation is
+// single-threaded and the FSP server serializes commands, so this holds
+// everywhere the hooks fire). Each wrapped transport gets its own
+// stream, so concurrent connections stay independent.
+type Injector struct {
+	profile Profile
+	seed    uint64
+	root    *rng.Source
+
+	broken  []string // labels of persistently failing cores, sorted
+	stuck   map[string]int
+	conns   int
+	machine *chip.Machine
+	ctl     *fsp.Controller
+}
+
+// New builds an injector from a validated profile and a seed.
+func New(p Profile, seed uint64) *Injector {
+	p = p.withDefaults()
+	return &Injector{
+		profile: p,
+		seed:    seed,
+		root:    rng.New(seed),
+		stuck:   map[string]int{},
+	}
+}
+
+// Profile returns the armed profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// Seed returns the seed every armed fault stream descends from.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Broken returns the labels of cores the injector fails persistently,
+// in sorted order. Empty until ArmMachine runs.
+func (in *Injector) Broken() []string {
+	return append([]string(nil), in.broken...)
+}
+
+// StuckSites returns the chosen (core label → stuck site index) pairs.
+// Empty until ArmMachine runs.
+func (in *Injector) StuckSites() map[string]int {
+	out := map[string]int{}
+	for k, v := range in.stuck {
+		out[k] = v
+	}
+	return out
+}
+
+// ArmMachine installs the CPM and trial hooks on every core of m.
+// Broken cores and stuck sites are chosen here, deterministically from
+// the seed and the machine's sorted core labels.
+func (in *Injector) ArmMachine(m *chip.Machine) {
+	in.machine = m
+	labels := make([]string, 0, len(m.AllCores()))
+	for _, core := range m.AllCores() {
+		labels = append(labels, core.Profile.Label)
+	}
+	sort.Strings(labels)
+
+	// Choose the persistently broken cores.
+	in.broken = in.broken[:0]
+	if n := in.profile.BrokenCores; n > 0 {
+		perm := in.root.Split("broken").Perm(len(labels))
+		if n > len(labels) {
+			n = len(labels)
+		}
+		for _, idx := range perm[:n] {
+			in.broken = append(in.broken, labels[idx])
+		}
+		sort.Strings(in.broken)
+	}
+	brokenSet := map[string]bool{}
+	for _, l := range in.broken {
+		brokenSet[l] = true
+	}
+
+	// Choose the cores with a stuck CPM site; the site index itself is
+	// drawn per core, in AllCores order, when the hook is armed.
+	in.stuck = map[string]int{}
+	stuckCore := map[string]bool{}
+	ssrc := in.root.Split("stuck")
+	if n := in.profile.CPMStuckSites; n > 0 {
+		perm := ssrc.Perm(len(labels))
+		if n > len(labels) {
+			n = len(labels)
+		}
+		for _, idx := range perm[:n] {
+			stuckCore[labels[idx]] = true
+		}
+	}
+
+	// Arm the per-core CPM hooks.
+	for _, core := range m.AllCores() {
+		label := core.Profile.Label
+		upset := in.profile.CPMUpsetProb
+		mag := in.profile.CPMUpsetMag
+		hasStuck := stuckCore[label]
+		stuckSite := 0
+		if hasStuck {
+			stuckSite = ssrc.Intn(len(core.Profile.SiteSkewPs))
+			in.stuck[label] = stuckSite
+		}
+		if upset == 0 && !hasStuck {
+			core.Monitor.SetReadFault(nil)
+			continue
+		}
+		src := in.root.Split("cpm/" + label)
+		core.Monitor.SetReadFault(func(r cpm.Reading) cpm.Reading {
+			if hasStuck && r.Units > stuckUnits {
+				// The stuck site reports almost no margin every cycle;
+				// worst-of-five makes it the reading.
+				r.Units = stuckUnits
+				r.WorstSite = stuckSite
+			}
+			if upset > 0 && src.Float64() < upset {
+				delta := src.Intn(2*mag+1) - mag
+				r.Units += delta
+			}
+			return r
+		})
+	}
+
+	// Arm the trial hook.
+	if in.profile.TrialErrProb == 0 && len(in.broken) == 0 {
+		m.SetTrialFault(nil)
+		return
+	}
+	tsrc := in.root.Split("trial")
+	terr := in.profile.TrialErrProb
+	m.SetTrialFault(func(label, workload string, res chip.TrialResult) (chip.TrialResult, error) {
+		if brokenSet[label] {
+			return res, fmt.Errorf("fault: core %s harness broken (%s): %w",
+				label, workload, chip.ErrTransient)
+		}
+		if terr > 0 && tsrc.Float64() < terr {
+			return res, fmt.Errorf("fault: spurious harness failure on %s (%s): %w",
+				label, workload, chip.ErrTransient)
+		}
+		return res, nil
+	})
+}
+
+// stuckUnits is the margin a stuck-low CPM site reports: one inverter
+// of slack, every cycle, regardless of the real path delay.
+const stuckUnits = 1
+
+// ArmController installs the telemetry read-fault hook on a service
+// processor. Injected errors carry the in-band "transient" convention,
+// so operator clients (fsp.Client) retry them.
+func (in *Injector) ArmController(ctl *fsp.Controller) {
+	in.ctl = ctl
+	if in.profile.TelemetryErrProb == 0 {
+		ctl.SetReadFault(nil)
+		return
+	}
+	src := in.root.Split("fsp")
+	p := in.profile.TelemetryErrProb
+	ctl.SetReadFault(func(a fsp.Addr) error {
+		if src.Float64() < p {
+			return fmt.Errorf("transient telemetry upset at %#x: %w", uint32(a), chip.ErrTransient)
+		}
+		return nil
+	})
+}
+
+// Disarm removes every hook the injector installed, leaving the
+// platform fault-free.
+func (in *Injector) Disarm() {
+	if in.machine != nil {
+		in.machine.SetTrialFault(nil)
+		for _, core := range in.machine.AllCores() {
+			core.Monitor.SetReadFault(nil)
+		}
+		in.machine = nil
+	}
+	if in.ctl != nil {
+		in.ctl.SetReadFault(nil)
+		in.ctl = nil
+	}
+}

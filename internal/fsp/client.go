@@ -1,0 +1,333 @@
+package fsp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the operator-plane counterpart of Session: it drives the
+// line protocol over any transport and survives the transport being
+// imperfect. Every command gets a per-command I/O timeout (when the
+// transport supports deadlines), a bounded retry budget with
+// deterministic backoff, and response re-synchronization: after a
+// dropped or garbled response line the client exchanges a ping token
+// and discards stale lines until the echo comes back, so one lost byte
+// cannot skew every subsequent response.
+//
+// Backoff time is simulated by default — the Sleep hook is a no-op that
+// only accumulates into Stats — so retry schedules are deterministic
+// and tests are instant; wire Sleep to time.Sleep for a real test-floor
+// link.
+//
+// In-band "err ..." responses are protocol results, not transport
+// faults: they are returned as *CmdError without retrying, except for
+// responses marked transient (the controller's telemetry-upset
+// convention, "err transient ..."), which are retried like a transport
+// fault.
+type Client struct {
+	rw  io.ReadWriter
+	br  *bufio.Reader
+	opt ClientOptions
+	seq int
+	st  ClientStats
+}
+
+// ClientOptions tunes the client's resilience envelope.
+type ClientOptions struct {
+	// Retries is the number of additional attempts after the first
+	// failed one. Default 3.
+	Retries int
+	// Timeout bounds each read and write when the transport supports
+	// deadlines (net.Conn, net.Pipe, fault wrappers). Default 2s;
+	// negative disables.
+	Timeout time.Duration
+	// Backoff maps attempt number (1, 2, ...) to the pause before that
+	// retry. The default is deterministic binary exponential:
+	// 25ms · 2^(attempt−1), capped at 1s. No jitter — reproducibility
+	// outranks thundering-herd etiquette on a one-operator link.
+	Backoff func(attempt int) time.Duration
+	// Sleep consumes the backoff pauses. The default records the total
+	// in Stats without sleeping (simulated time).
+	Sleep func(time.Duration)
+	// ResyncWindow is how many stale lines a re-sync may discard while
+	// hunting for its pong before the attempt is abandoned. Default 32.
+	ResyncWindow int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Backoff == nil {
+		o.Backoff = func(attempt int) time.Duration {
+			d := 25 * time.Millisecond << (attempt - 1)
+			if d > time.Second {
+				d = time.Second
+			}
+			return d
+		}
+	}
+	if o.ResyncWindow == 0 {
+		o.ResyncWindow = 32
+	}
+	return o
+}
+
+// ClientStats counts what the resilience machinery absorbed.
+type ClientStats struct {
+	Commands  int           // commands issued through Exec
+	Retries   int           // attempts beyond the first
+	Resyncs   int           // ping/pong re-synchronizations performed
+	Discarded int           // stale or garbled lines thrown away
+	Backoff   time.Duration // total backoff consumed (simulated by default)
+}
+
+// CmdError is an in-band protocol error: the server executed (or
+// rejected) the command and said "err ...".
+type CmdError struct {
+	Cmd string
+	Msg string
+}
+
+func (e *CmdError) Error() string { return fmt.Sprintf("fsp: %q: %s", e.Cmd, e.Msg) }
+
+// Transient reports whether the server marked the failure retryable
+// (a telemetry read upset rather than a rejected command).
+func (e *CmdError) Transient() bool { return strings.HasPrefix(e.Msg, "transient") }
+
+// ErrExhausted wraps the last failure after the retry budget is spent.
+var ErrExhausted = errors.New("retry budget exhausted")
+
+// NewClient wraps a transport. The transport is used from one goroutine
+// at a time.
+func NewClient(rw io.ReadWriter, opts ClientOptions) *Client {
+	return &Client{rw: rw, br: bufio.NewReaderSize(rw, 4096), opt: opts.withDefaults()}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Client) Stats() ClientStats { return c.st }
+
+// deadlined is the optional transport surface the per-command timeout
+// uses; net.Conn and net.Pipe both provide it.
+type deadlined interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+func (c *Client) armRead() {
+	if d, ok := c.rw.(deadlined); ok && c.opt.Timeout > 0 {
+		//lint:ignore errdrop best-effort deadline arming: a transport that refuses deadlines degrades to blocking reads, which the caller accepted by providing it
+		d.SetReadDeadline(time.Now().Add(c.opt.Timeout))
+	}
+}
+
+func (c *Client) armWrite() {
+	if d, ok := c.rw.(deadlined); ok && c.opt.Timeout > 0 {
+		//lint:ignore errdrop best-effort deadline arming: a transport that refuses deadlines degrades to blocking writes, which the caller accepted by providing it
+		d.SetWriteDeadline(time.Now().Add(c.opt.Timeout))
+	}
+}
+
+// writeLine sends one command line.
+func (c *Client) writeLine(line string) error {
+	c.armWrite()
+	_, err := io.WriteString(c.rw, line+"\n")
+	return err
+}
+
+// readLine reads one response line under the per-command deadline.
+func (c *Client) readLine() (string, error) {
+	c.armRead()
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// response is one parsed protocol reply.
+type response struct {
+	isErr   bool
+	payload string
+}
+
+// parseResponse classifies a line; ok=false marks a garbled line that
+// belongs to no well-formed reply.
+func parseResponse(line string) (response, bool) {
+	switch {
+	case line == "ok":
+		return response{}, true
+	case strings.HasPrefix(line, "ok "):
+		return response{payload: line[len("ok "):]}, true
+	case strings.HasPrefix(line, "err "):
+		return response{isErr: true, payload: line[len("err "):]}, true
+	case line == "err":
+		return response{isErr: true}, true
+	default:
+		return response{}, false
+	}
+}
+
+// resync drains the transport of stale response lines: it sends a ping
+// with a fresh token and discards everything until the matching pong
+// arrives. Called after any attempt whose response was lost or garbled,
+// so the next command starts aligned.
+func (c *Client) resync() error {
+	c.seq++
+	token := fmt.Sprintf("sync-%d", c.seq)
+	c.st.Resyncs++
+	if err := c.writeLine("ping " + token); err != nil {
+		return err
+	}
+	want := "ok pong " + token
+	for i := 0; i < c.opt.ResyncWindow; i++ {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if line == want {
+			return nil
+		}
+		c.st.Discarded++
+	}
+	return fmt.Errorf("fsp: resync token %s not echoed within %d lines", token, c.opt.ResyncWindow)
+}
+
+// Exec runs one command with the full resilience envelope and returns
+// the "ok" payload. A non-transient in-band error returns *CmdError
+// immediately; transport faults and transient errors are retried with
+// backoff until the budget is spent, then reported wrapping
+// ErrExhausted.
+func (c *Client) Exec(cmd string) (string, error) {
+	c.st.Commands++
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			c.st.Retries++
+			d := c.opt.Backoff(attempt)
+			c.st.Backoff += d
+			if c.opt.Sleep != nil {
+				c.opt.Sleep(d)
+			}
+			if err := c.resync(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := c.writeLine(cmd); err != nil {
+			lastErr = err
+			continue
+		}
+		line, err := c.readLine()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, wellFormed := parseResponse(line)
+		if !wellFormed {
+			c.st.Discarded++
+			lastErr = fmt.Errorf("fsp: garbled response %q", line)
+			continue
+		}
+		if resp.isErr {
+			cerr := &CmdError{Cmd: cmd, Msg: resp.payload}
+			if cerr.Transient() {
+				lastErr = cerr
+				continue
+			}
+			return "", cerr
+		}
+		return resp.payload, nil
+	}
+	return "", fmt.Errorf("fsp: %q failed after %d attempts: %w: %w",
+		cmd, c.opt.Retries+1, ErrExhausted, lastErr)
+}
+
+// Ping verifies liveness end to end.
+func (c *Client) Ping() error {
+	c.seq++
+	token := fmt.Sprintf("live-%d", c.seq)
+	out, err := c.Exec("ping " + token)
+	if err != nil {
+		return err
+	}
+	if out != "pong "+token {
+		return fmt.Errorf("fsp: ping echoed %q, want %q", out, "pong "+token)
+	}
+	return nil
+}
+
+// CPM reads a core's current inserted-delay reduction.
+func (c *Client) CPM(core string) (int, error) {
+	out, err := c.Exec("cpm " + core)
+	if err != nil {
+		return 0, err
+	}
+	v, perr := strconv.Atoi(strings.TrimSpace(out))
+	if perr != nil {
+		return 0, fmt.Errorf("fsp: bad cpm payload %q", out)
+	}
+	return v, nil
+}
+
+// SetCPM programs a core's inserted-delay reduction.
+func (c *Client) SetCPM(core string, reduction int) error {
+	_, err := c.Exec(fmt.Sprintf("cpm %s %d", core, reduction))
+	return err
+}
+
+// SetMode switches a core between "static" and "atm" clocking.
+func (c *Client) SetMode(core, mode string) error {
+	_, err := c.Exec(fmt.Sprintf("mode %s %s", core, mode))
+	return err
+}
+
+// FreqMHz reads a core's settled frequency.
+func (c *Client) FreqMHz(core string) (float64, error) {
+	out, err := c.Exec("freq " + core)
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 2 || fields[1] != "MHz" {
+		return 0, fmt.Errorf("fsp: bad freq payload %q", out)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return 0, fmt.Errorf("fsp: bad freq payload %q", out)
+	}
+	return v, nil
+}
+
+// Cores lists the server's core labels.
+func (c *Client) Cores() ([]string, error) {
+	out, err := c.Exec("cores")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(out), nil
+}
+
+// Quit ends the session politely. The transport is left to the caller
+// to close.
+func (c *Client) Quit() error {
+	if err := c.writeLine("quit"); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "ok bye" {
+		return fmt.Errorf("fsp: quit acknowledged with %q", line)
+	}
+	return nil
+}

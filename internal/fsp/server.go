@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
 
 // The network face of the service processor: on real hardware the FSP
@@ -15,23 +16,40 @@ import (
 // so the server serializes command execution with a mutex — matching the
 // real firmware, which processes SCOM operations one at a time.
 
+// DefaultIdleTimeout is the per-connection inactivity bound: a client
+// that sends nothing for this long is disconnected, so a hung operator
+// script cannot pin a session goroutine (and, through it, shutdown)
+// forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server accepts operator connections and serves sessions.
 type Server struct {
 	ctl *Controller
 
+	// IdleTimeout bounds the silence between commands on one
+	// connection; reads past it fail and the session ends. Zero
+	// disables the timeout. Set before Serve.
+	IdleTimeout time.Duration
+
 	mu sync.Mutex // serializes command execution across connections
 
 	wg      sync.WaitGroup
-	stateMu sync.Mutex // guards closing/listener against Serve↔Close races
+	stateMu sync.Mutex // guards closing/listener/conns against Serve↔Close races
 	closed  bool
 	closing chan struct{}
+	conns   map[net.Conn]struct{}
 
 	listener net.Listener
 }
 
 // NewServer wraps a controller for network serving.
 func NewServer(ctl *Controller) *Server {
-	return &Server{ctl: ctl, closing: make(chan struct{})}
+	return &Server{
+		ctl:         ctl,
+		IdleTimeout: DefaultIdleTimeout,
+		closing:     make(chan struct{}),
+		conns:       map[net.Conn]struct{}{},
+	}
 }
 
 // Serve accepts connections on l until Close is called or the listener
@@ -57,11 +75,26 @@ func (s *Server) Serve(l net.Listener) error {
 				return err
 			}
 		}
+		s.stateMu.Lock()
+		if s.closed {
+			// Close raced the accept: refuse the connection promptly.
+			s.stateMu.Unlock()
+			//lint:ignore errdrop shutdown refusal: the peer observes the close, there is no session to report into
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.stateMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			//lint:ignore errdrop per-connection teardown: the peer is gone and there is no one to report a close failure to
-			defer conn.Close()
+			defer func() {
+				s.stateMu.Lock()
+				delete(s.conns, conn)
+				s.stateMu.Unlock()
+				//lint:ignore errdrop per-connection teardown: the peer is gone and there is no one to report a close failure to
+				conn.Close()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -72,8 +105,26 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) serveConn(conn net.Conn) {
 	sess := NewSession(s.ctl)
 	locked := &lockedSession{sess: sess, mu: &s.mu}
-	//lint:ignore errdrop a serve error is a client that hung up mid-session — normal connection lifecycle, not a server fault
-	_ = locked.serve(conn)
+	var rw net.Conn = conn
+	if s.IdleTimeout > 0 {
+		rw = &idleConn{Conn: conn, timeout: s.IdleTimeout}
+	}
+	//lint:ignore errdrop a serve error is a client that hung up or idled out mid-session — normal connection lifecycle, not a server fault
+	_ = locked.serve(rw)
+}
+
+// idleConn re-arms a read deadline before every read, so the effective
+// deadline is inactivity, not total session length.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
 }
 
 // lockedSession wraps a session so each command executes under the
@@ -91,8 +142,9 @@ func (ls *lockedSession) serve(conn net.Conn) error {
 	})
 }
 
-// Close stops accepting and waits for in-flight sessions to finish.
-// It is idempotent and safe to call before, during, or after Serve.
+// Close stops accepting, disconnects every connected session promptly,
+// and waits for the session goroutines to finish. It is idempotent and
+// safe to call before, during, or after Serve.
 func (s *Server) Close() error {
 	s.stateMu.Lock()
 	var err error
@@ -101,6 +153,12 @@ func (s *Server) Close() error {
 		close(s.closing)
 		if s.listener != nil {
 			err = s.listener.Close()
+		}
+		// Force in-flight sessions off the wire: without this, Close
+		// would block until every connected client idled out or quit.
+		for conn := range s.conns {
+			//lint:ignore errdrop forced shutdown of a live session: the session goroutine observes the closed conn and exits
+			conn.Close()
 		}
 	}
 	s.stateMu.Unlock()

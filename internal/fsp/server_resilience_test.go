@@ -1,0 +1,135 @@
+package fsp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chip"
+)
+
+func startServerIdle(t *testing.T, idle time.Duration) (*Server, string) {
+	t.Helper()
+	ctl := NewController(chip.NewReference())
+	srv := NewServer(ctl)
+	srv.IdleTimeout = idle
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+// TestServerIdleTimeout: a silent client is disconnected once the idle
+// window passes, so a hung operator script cannot pin a session forever.
+func TestServerIdleTimeout(t *testing.T) {
+	_, addr := startServerIdle(t, 50*time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errdrop test teardown; the server already dropped the connection
+	defer conn.Close()
+	// One command proves the session is live.
+	if _, err := fmt.Fprintln(conn, "ping alive"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() || sc.Text() != "ok pong alive" {
+		t.Fatalf("ping got %q, err %v", sc.Text(), sc.Err())
+	}
+	// Then silence: the server must hang up, observed as EOF/reset on
+	// our next read, well before the test's own deadline.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Fatalf("idle connection still served: %q", sc.Text())
+	}
+	if ne, ok := sc.Err().(net.Error); ok && ne.Timeout() {
+		t.Fatal("our read deadline fired first: server never enforced its idle timeout")
+	}
+}
+
+// TestServerIdleTimeoutRearmed: the timeout bounds inactivity, not total
+// session length — a client issuing commands slower than the window but
+// steadily must stay connected.
+func TestServerIdleTimeoutRearmed(t *testing.T) {
+	_, addr := startServerIdle(t, 200*time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errdrop test teardown; the session already quit
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for i := 0; i < 4; i++ {
+		time.Sleep(100 * time.Millisecond) // half the window, repeatedly
+		if _, err := fmt.Fprintf(conn, "ping t%d\n", i); err != nil {
+			t.Fatalf("ping %d: session died despite steady activity: %v", i, err)
+		}
+		if !sc.Scan() || sc.Text() != fmt.Sprintf("ok pong t%d", i) {
+			t.Fatalf("ping %d got %q, err %v", i, sc.Text(), sc.Err())
+		}
+	}
+}
+
+// TestServerCloseDisconnectsSessions: Close must not wait for connected
+// clients to quit — in-flight sessions are forced off the wire.
+func TestServerCloseDisconnectsSessions(t *testing.T) {
+	ctl := NewController(chip.NewReference())
+	srv := NewServer(ctl) // default 2-minute idle timeout: irrelevant here
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errdrop test teardown; the server closed the connection first
+	defer conn.Close()
+	// Prove the session is established before closing the server.
+	if _, err := fmt.Fprintln(conn, "ping up"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("session never answered: %v", sc.Err())
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a connected session")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// The client observes the forced disconnect.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Fatalf("closed server still served: %q", sc.Text())
+	}
+}

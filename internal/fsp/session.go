@@ -2,6 +2,7 @@ package fsp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 //	freq <core>                       settled frequency (MHz)
 //	chip <P0|P1>                      chip telemetry line
 //	cores                             list core labels
+//	ping <token>                      echo (client liveness / re-sync)
 //	quit                              end the session
 type Session struct {
 	ctl *Controller
@@ -30,6 +32,12 @@ type Session struct {
 
 // NewSession wraps a controller.
 func NewSession(ctl *Controller) *Session { return &Session{ctl: ctl} }
+
+// MaxLineBytes caps one command line. A line over the cap is consumed
+// to its newline and answered with "err line too long" in-band — the
+// session survives, instead of the scanner silently stopping with a
+// buffer overflow as an out-of-band transport error.
+const MaxLineBytes = 64 * 1024
 
 // Serve processes commands from r and writes responses to w until EOF
 // or "quit". Protocol errors are reported in-band; only transport
@@ -42,23 +50,66 @@ func (s *Session) Serve(r io.Reader, w io.Writer) error {
 // wraps Exec in a lock so concurrent connections serialize against the
 // shared controller.
 func (s *Session) serveWith(r io.Reader, w io.Writer, exec func(string) string) error {
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	br := bufio.NewReaderSize(r, 4096)
+	for {
+		raw, tooLong, err := readCappedLine(br, MaxLineBytes)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return err // transport error
 		}
-		if line == "quit" {
-			if _, err := fmt.Fprintln(w, "ok bye"); err != nil {
-				return err
+		atEOF := err != nil
+		if tooLong {
+			if _, werr := fmt.Fprintln(w, "err line too long"); werr != nil {
+				return werr
 			}
+		} else if line := strings.TrimSpace(raw); line != "" && !strings.HasPrefix(line, "#") {
+			if line == "quit" {
+				if _, werr := fmt.Fprintln(w, "ok bye"); werr != nil {
+					return werr
+				}
+				return nil
+			}
+			if _, werr := fmt.Fprintln(w, exec(line)); werr != nil {
+				return werr
+			}
+		}
+		if atEOF {
 			return nil
 		}
-		if _, err := fmt.Fprintln(w, exec(line)); err != nil {
-			return err
+	}
+}
+
+// readCappedLine reads one newline-terminated line of at most cap
+// bytes. A longer line is consumed up to and including its newline and
+// reported with tooLong=true so the protocol can answer in-band. A
+// final unterminated line before EOF is returned with err == io.EOF.
+func readCappedLine(br *bufio.Reader, limit int) (line string, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, rerr := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if rerr == nil || errors.Is(rerr, io.EOF) {
+			s := strings.TrimSuffix(string(buf), "\n")
+			if len(s) > limit {
+				return "", true, rerr
+			}
+			return s, false, rerr
+		}
+		if !errors.Is(rerr, bufio.ErrBufferFull) {
+			return string(buf), false, rerr
+		}
+		if len(buf) > limit {
+			// Over the cap mid-line: discard the remainder.
+			for {
+				_, derr := br.ReadSlice('\n')
+				if derr == nil || errors.Is(derr, io.EOF) {
+					return "", true, derr
+				}
+				if !errors.Is(derr, bufio.ErrBufferFull) {
+					return "", true, derr
+				}
+			}
 		}
 	}
-	return sc.Err()
 }
 
 // Exec runs one command line and returns the response line.
@@ -230,6 +281,14 @@ func (s *Session) dispatch(cmd string, args []string) (string, error) {
 
 	case "cores":
 		return strings.Join(s.ctl.Labels(), " "), nil
+
+	case "ping":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: ping <token>")
+		}
+		// Echo for liveness probes and client re-sync: the token lets a
+		// client discard stale response lines after a transport fault.
+		return "pong " + args[0], nil
 
 	default:
 		return "", fmt.Errorf("unknown command %q", cmd)

@@ -173,6 +173,7 @@ func DefaultConfig() *Config {
 			"repro/internal/silicon",
 			"repro/internal/charact",
 			"repro/internal/tuning",
+			"repro/internal/fault",
 			"repro/internal/manage",
 			"repro/internal/sched",
 			"repro/internal/predict",

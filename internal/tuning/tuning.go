@@ -17,6 +17,7 @@
 package tuning
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -43,6 +44,11 @@ type Options struct {
 	Seed uint64
 	// Battery overrides the stressmark set (default TestTimeSuite).
 	Battery []workload.Stressmark
+	// TrialRetries is the budget of extra attempts for a stressmark run
+	// that fails with a transient harness error (chip.ErrTransient)
+	// before the core is quarantined at static margin. Default 2;
+	// negative disables retrying.
+	TrialRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +63,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Battery == nil {
 		o.Battery = workload.TestTimeSuite()
+	}
+	if o.TrialRetries == 0 {
+		o.TrialRetries = 2
+	}
+	if o.TrialRetries < 0 {
+		o.TrialRetries = 0
 	}
 	return o
 }
@@ -77,6 +89,13 @@ type CoreConfig struct {
 	// every core of the chip running daxpy — the maximum-DC-drop corner
 	// (the worst case of Fig. 1's fourth bar).
 	LoadedFreq units.MHz
+	// Quarantined marks a core whose stress battery kept failing with
+	// transient harness errors: it is deployed at reduction 0 in static
+	// mode — the paper's default margin, safe by construction — instead
+	// of aborting the whole deployment.
+	Quarantined bool
+	// QuarantineReason is the persistent error that earned quarantine.
+	QuarantineReason string
 }
 
 // Deployment is a full server's fine-tuned configuration.
@@ -98,6 +117,19 @@ func (d *Deployment) Config(label string) (CoreConfig, bool) {
 		}
 	}
 	return CoreConfig{}, false
+}
+
+// Quarantined returns the labels of cores deployed at the static
+// fallback, in sorted order. Empty on a healthy machine.
+func (d *Deployment) Quarantined() []string {
+	var out []string
+	for _, c := range d.Configs {
+		if c.Quarantined {
+			out = append(out, c.Core)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FastestCores returns core labels ordered by descending idle frequency
@@ -158,7 +190,7 @@ func StressTestCore(m *chip.Machine, label string, o Options, src *rng.Source) (
 			for mi, mark := range o.Battery {
 				msrc := psrc.SplitIndex(mark.Profile.Name, mi)
 				for run := 0; run < o.RunsPerConfig; run++ {
-					tr, err := m.RunStressmark(label, mark, msrc.SplitIndex("run", run))
+					tr, err := m.RunStressmarkRetry(label, mark, msrc.SplitIndex("run", run), o.TrialRetries)
 					if err != nil {
 						return 0, err
 					}
@@ -221,21 +253,41 @@ func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
 	root := rng.New(o.Seed)
 	dep := &Deployment{Opts: o}
 
-	// Limits first (searches touch one core at a time).
+	// Limits first (searches touch one core at a time). A core whose
+	// battery keeps failing with transient harness errors through the
+	// retry budget is quarantined — deployed at the default static
+	// margin below — rather than aborting the whole test-time flow.
 	m.ResetAll()
 	limits := map[string]int{}
+	quarantine := map[string]string{}
 	for i, core := range m.AllCores() {
 		label := core.Profile.Label
 		lim, err := StressTestCore(m, label, o, root.SplitIndex(label, i))
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, chip.ErrTransient) {
+				return nil, err
+			}
+			quarantine[label] = err.Error()
+			if perr := m.ProgramCPM(label, 0); perr != nil {
+				return nil, perr
+			}
+			lim = 0
 		}
 		limits[label] = lim
 	}
 
-	// Program the deployment.
+	// Program the deployment. Quarantined cores stay at reduction 0 in
+	// static mode: the stock margin the part shipped with, safe without
+	// any trust in this core's harness.
 	for _, core := range m.AllCores() {
 		label := core.Profile.Label
+		if _, bad := quarantine[label]; bad {
+			if err := m.ProgramCPM(label, 0); err != nil {
+				return nil, err
+			}
+			core.SetMode(chip.ModeStatic)
+			continue
+		}
 		red := limits[label] - o.Rollback
 		if red < 0 {
 			red = 0
@@ -284,13 +336,19 @@ func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
 		if red < 0 {
 			red = 0
 		}
-		dep.Configs = append(dep.Configs, CoreConfig{
+		cc := CoreConfig{
 			Core:        label,
 			StressLimit: limits[label],
 			Reduction:   red,
 			IdleFreq:    ics.Freq,
 			LoadedFreq:  lcs.Freq,
-		})
+		}
+		if reason, bad := quarantine[label]; bad {
+			cc.Reduction = 0
+			cc.Quarantined = true
+			cc.QuarantineReason = reason
+		}
+		dep.Configs = append(dep.Configs, cc)
 	}
 	return dep, nil
 }
