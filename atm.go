@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/manage"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/silicon"
@@ -91,6 +92,14 @@ type (
 	FaultProfile = fault.Profile
 	// FaultInjector arms a FaultProfile on a machine and controller.
 	FaultInjector = fault.Injector
+
+	// MetricsRegistry collects deterministic counters, gauges, and
+	// histograms from every instrumented layer; a nil registry disables
+	// collection at ~zero cost.
+	MetricsRegistry = obs.Registry
+	// Tracer records simulated-time spans in Chrome trace_event JSON
+	// (openable in Perfetto); a nil tracer disables tracing.
+	Tracer = obs.Tracer
 
 	// Manager is the managed-ATM scheduler.
 	Manager = manage.Manager
@@ -236,6 +245,16 @@ func FaultPresetNames() []string { return fault.PresetNames() }
 // NewFaultInjector builds an injector whose every fault replays
 // bit-for-bit from (profile, seed).
 func NewFaultInjector(p FaultProfile, seed uint64) *FaultInjector { return fault.New(p, seed) }
+
+// NewMetricsRegistry builds an empty metrics registry. Pass it through
+// CharactOptions/DeployOptions (and FaultInjector.Observe) to collect,
+// then export with WriteProm or SnapshotJSON — byte-identical across
+// identically-seeded runs.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds an empty span tracer keyed on simulated/logical time
+// (never the wall clock). Export with WriteJSON.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // ReferenceTableIRow returns the paper's published Table I limits for a
 // reference core label, for comparing regenerated results against the

@@ -7,6 +7,7 @@
 //
 //	atmctl characterize [-trials 10] [-seed 1]
 //	atmctl tune [-rollback 0]
+//	atmctl characterize|tune ... [-metrics-out m.json] [-trace-out t.json]
 //	atmctl schedule -critical squeezenet -background lu_cb [-scenario managed-balanced] [-qos 0.10]
 //	atmctl sweep -core P0C3
 //	atmctl transient [-chip P0] [-steps 2000] [-stress]
@@ -138,12 +139,63 @@ func faultFlag(fs *flag.FlagSet) func(*atm.Machine) (*atm.FaultInjector, error) 
 	}
 }
 
+// obsFlag adds the -metrics-out and -trace-out flags. The returned
+// attach hook builds the registry/tracer (nil when the matching flag is
+// unset, keeping the instrumented hot paths free) and wires fault hit
+// counters; the returned flush writes the export files.
+func obsFlag(fs *flag.FlagSet) (attach func(*atm.FaultInjector) (*atm.MetricsRegistry, *atm.Tracer), flush func() error) {
+	metricsOut := fs.String("metrics-out", "", "write a deterministic JSON metrics snapshot to this file")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto) to this file")
+	var reg *atm.MetricsRegistry
+	var tr *atm.Tracer
+	attach = func(inj *atm.FaultInjector) (*atm.MetricsRegistry, *atm.Tracer) {
+		if *metricsOut != "" {
+			reg = atm.NewMetricsRegistry()
+			if inj != nil {
+				inj.Observe(reg)
+			}
+		}
+		if *traceOut != "" {
+			tr = atm.NewTracer()
+		}
+		return reg, tr
+	}
+	flush = func() error {
+		if reg != nil {
+			if err := writeFile(*metricsOut, func(f *os.File) error { return reg.WriteJSON(f) }); err != nil {
+				return err
+			}
+		}
+		if tr != nil {
+			if err := writeFile(*traceOut, func(f *os.File) error { return tr.WriteJSON(f) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return attach, flush
+}
+
+// writeFile creates path and streams write into it, surfacing both the
+// write and close errors.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
 func cmdCharacterize(args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	trials := fs.Int("trials", 10, "repeated trials per (core, workload)")
 	seed := fs.Uint64("seed", 1, "trial seed")
 	build := machineFlag(fs)
 	arm := faultFlag(fs)
+	attach, flush := obsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,8 +207,12 @@ func cmdCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := atm.Characterize(m, atm.CharactOptions{Trials: *trials, Seed: *seed})
+	reg, tr := attach(inj)
+	rep, err := atm.Characterize(m, atm.CharactOptions{Trials: *trials, Seed: *seed, Obs: reg, Trace: tr})
 	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
 		return err
 	}
 	t := &report.Table{
@@ -194,6 +250,7 @@ func cmdTune(args []string) error {
 	rollback := fs.Int("rollback", 0, "safety steps below the stress-test limit")
 	build := machineFlag(fs)
 	arm := faultFlag(fs)
+	attach, flush := obsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,8 +262,12 @@ func cmdTune(args []string) error {
 	if err != nil {
 		return err
 	}
-	dep, err := atm.Deploy(m, atm.DeployOptions{Rollback: *rollback})
+	reg, tr := attach(inj)
+	dep, err := atm.Deploy(m, atm.DeployOptions{Rollback: *rollback, Obs: reg, Trace: tr})
 	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
 		return err
 	}
 	t := &report.Table{

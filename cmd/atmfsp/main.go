@@ -46,18 +46,23 @@ func main() {
 		m = mm
 	}
 	ctl := fsp.NewController(m)
+	reg := atm.NewMetricsRegistry()
 	if *listen != "" {
 		l, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "atmfsp: serving on", l.Addr())
-		if err := fsp.NewServer(ctl).Serve(l); err != nil {
+		srv := fsp.NewServer(ctl)
+		srv.Observe(reg)
+		if err := srv.Serve(l); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := fsp.NewSession(ctl).Serve(os.Stdin, os.Stdout); err != nil {
+	sess := fsp.NewSession(ctl)
+	sess.Observe(reg)
+	if err := sess.Serve(os.Stdin, os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +19,9 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "",
+		"write the managed run's Chrome trace_event JSON (open in Perfetto) to this file")
+	flag.Parse()
 	m := atm.NewReferenceMachine()
 	dep, err := atm.Deploy(m, atm.DeployOptions{})
 	if err != nil {
@@ -46,9 +51,14 @@ func main() {
 			"crit speedup", "energy/job (J)"},
 		Note: "managed ATM: critical jobs on the fastest cores, co-runners throttled while they run",
 	}
+	var tr *atm.Tracer
 	for _, p := range []atm.SchedPolicy{atm.SchedStatic, atm.SchedOndemand, atm.SchedUnmanaged, atm.SchedManaged} {
 		o := opts
 		o.Policy = p
+		if *traceOut != "" && p == atm.SchedManaged {
+			tr = atm.NewTracer()
+			o.Trace = tr
+		}
 		res, err := sim.Run(trace, o)
 		if err != nil {
 			log.Fatal(err)
@@ -70,5 +80,23 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("managed run trace written to %s (%d events; open in Perfetto)\n", *traceOut, tr.Events())
+	}
 	fmt.Println("the steady-state Fig. 14 ladder — static < unmanaged < managed — holds under dynamics too.")
+}
+
+// writeTrace dumps the tracer to path, surfacing write and close errors.
+func writeTrace(path string, tr *atm.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }

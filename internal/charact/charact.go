@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -55,6 +57,13 @@ type Options struct {
 	// fails with a transient harness error (chip.ErrTransient) before
 	// the core is quarantined. Default 2; negative disables retrying.
 	TrialRetries int
+	// Obs, when non-nil, collects counters for the run (trials, runs,
+	// transient retries, quarantines). Nil — the default — disables
+	// collection at near-zero cost and changes no output.
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-core and per-stage spans on the
+	// simulated/logical clock for Perfetto inspection.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +168,14 @@ func Characterize(m *chip.Machine, opts Options) (*Report, error) {
 	o := opts.withDefaults()
 	root := rng.New(o.Seed)
 	rep := &Report{Opts: o}
+	in := newInstr(o.Obs, o.Trace, "atm_charact")
+	if o.Obs != nil {
+		// Tap every retry-wrapped trial for run/retry counts. The tap
+		// observes outcomes only; it never draws randomness, so the
+		// trial streams — and every report number — are unchanged.
+		m.SetTrialObserver(in.observeTrial)
+		defer m.SetTrialObserver(nil)
+	}
 
 	// Settle the all-idle supply once per chip for Fig. 7 frequencies.
 	m.ResetAll()
@@ -170,7 +187,8 @@ func Characterize(m *chip.Machine, opts Options) (*Report, error) {
 	for ci, core := range m.AllCores() {
 		label := core.Profile.Label
 		src := root.SplitIndex(label, ci)
-		res, err := characterizeCore(m, label, o, src)
+		csp := o.Trace.Begin("charact", "core", label)
+		res, err := characterizeCore(m, label, o, in, src)
 		if err != nil {
 			if !errors.Is(err, chip.ErrTransient) {
 				return nil, err
@@ -180,10 +198,13 @@ func Characterize(m *chip.Machine, opts Options) (*Report, error) {
 			// the machine. The report carries the reason; a deployment
 			// must leave this core at static margin.
 			res = quarantinedResult(label, err)
+			in.quarantines.Inc()
+			o.Trace.Instant("charact", "quarantine", label)
 			if perr := m.ProgramCPM(label, 0); perr != nil {
 				return nil, perr
 			}
 		}
+		csp.End()
 		chipLabel := label[:2]
 		if cs, err := idleState.ChipState(chipLabel); err == nil {
 			f, ferr := core.Profile.SettledFreq(res.Idle.Limit, cs.Supply)
@@ -214,7 +235,7 @@ func quarantinedResult(label string, cause error) CoreResult {
 }
 
 // characterizeCore runs the three methodology stages for one core.
-func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source) (CoreResult, error) {
+func characterizeCore(m *chip.Machine, label string, o Options, in instr, src *rng.Source) (CoreResult, error) {
 	res := CoreResult{
 		Core:            label,
 		PerKernelLimit:  map[string]int{},
@@ -223,7 +244,9 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 	}
 
 	// Stage 1: system idle, upward sweep.
-	idle, err := findLimit(m, label, workload.Idle, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("idle"))
+	sp := in.tr.Begin("charact", "stage:idle", label)
+	idle, err := findLimit(m, label, workload.Idle, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("idle"), in.idleTrials, in.tr)
+	sp.End()
 	if err != nil {
 		return CoreResult{}, err
 	}
@@ -232,9 +255,11 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 	// Stage 2: micro-benchmarks, rollback from the idle limit.
 	res.UBenchRollback = stats.NewHistogram()
 	res.UBenchLimit = idle.Limit
+	sp = in.tr.Begin("charact", "stage:ubench", label)
 	for _, ub := range workload.UBench() {
-		d, err := findRollback(m, label, ub, idle.Limit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("ubench/"+ub.Name))
+		d, err := findRollback(m, label, ub, idle.Limit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("ubench/"+ub.Name), in.ubenchTrials, in.tr)
 		if err != nil {
+			sp.End()
 			return CoreResult{}, err
 		}
 		res.PerKernelLimit[ub.Name] = d.Limit
@@ -247,13 +272,16 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 			}
 		}
 	}
+	sp.End()
 
 	// Stage 3: realistic applications, rollback from the uBench limit.
 	worst := res.UBenchLimit
 	normal := res.UBenchLimit
+	sp = in.tr.Begin("charact", "stage:app", label)
 	for _, app := range o.Apps {
-		d, err := findRollback(m, label, app, res.UBenchLimit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("app/"+app.Name))
+		d, err := findRollback(m, label, app, res.UBenchLimit, o.Trials, o.RunsPerConfig, o.TrialRetries, src.Split("app/"+app.Name), in.appTrials, in.tr)
 		if err != nil {
+			sp.End()
 			return CoreResult{}, err
 		}
 		res.AppLimit[app.Name] = d.Limit
@@ -265,6 +293,7 @@ func characterizeCore(m *chip.Machine, label string, o Options, src *rng.Source)
 			normal = d.Limit
 		}
 	}
+	sp.End()
 	res.ThreadWorst = worst
 	res.ThreadNormal = normal
 	return res, nil
@@ -295,10 +324,10 @@ func configSafe(m *chip.Machine, label string, w workload.Profile, runs, retries
 // Transient harness failures are not retried; use Characterize with
 // Options.TrialRetries for the fault-tolerant path.
 func FindLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPerConfig int, src *rng.Source) (Distribution, error) {
-	return findLimit(m, label, w, trials, runsPerConfig, 0, src)
+	return findLimit(m, label, w, trials, runsPerConfig, 0, src, nil, nil)
 }
 
-func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPerConfig, retries int, src *rng.Source) (Distribution, error) {
+func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPerConfig, retries int, src *rng.Source, tc *obs.Counter, tr *obs.Tracer) (Distribution, error) {
 	core, err := m.Core(label)
 	if err != nil {
 		return Distribution{}, err
@@ -306,6 +335,12 @@ func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPe
 	maxR := core.Profile.MaxReduction()
 	d := Distribution{Core: label, Workload: w.Name, Hist: stats.NewHistogram()}
 	for t := 0; t < trials; t++ {
+		tc.Inc()
+		tsp := tr.Begin("charact", "trial", label)
+		if tsp != nil {
+			// Argument rendering only runs with the plane enabled.
+			tsp.Arg("workload", w.Name).Arg("trial", strconv.Itoa(t))
+		}
 		tsrc := src.SplitIndex("trial", t)
 		lim := 0
 		for r := 1; r <= maxR; r++ {
@@ -321,6 +356,10 @@ func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPe
 			}
 			lim = r
 		}
+		if tsp != nil {
+			tsp.Arg("limit", strconv.Itoa(lim))
+		}
+		tsp.End()
 		d.Hist.Add(lim)
 	}
 	if err := m.ProgramCPM(label, 0); err != nil {
@@ -337,12 +376,17 @@ func findLimit(m *chip.Machine, label string, w workload.Profile, trials, runsPe
 // configurations over trials. Like FindLimit, it does not retry
 // transient harness failures.
 func FindRollback(m *chip.Machine, label string, w workload.Profile, start, trials, runsPerConfig int, src *rng.Source) (Distribution, error) {
-	return findRollback(m, label, w, start, trials, runsPerConfig, 0, src)
+	return findRollback(m, label, w, start, trials, runsPerConfig, 0, src, nil, nil)
 }
 
-func findRollback(m *chip.Machine, label string, w workload.Profile, start, trials, runsPerConfig, retries int, src *rng.Source) (Distribution, error) {
+func findRollback(m *chip.Machine, label string, w workload.Profile, start, trials, runsPerConfig, retries int, src *rng.Source, tc *obs.Counter, tr *obs.Tracer) (Distribution, error) {
 	d := Distribution{Core: label, Workload: w.Name, Hist: stats.NewHistogram()}
 	for t := 0; t < trials; t++ {
+		tc.Inc()
+		tsp := tr.Begin("charact", "trial", label)
+		if tsp != nil {
+			tsp.Arg("workload", w.Name).Arg("trial", strconv.Itoa(t))
+		}
 		tsrc := src.SplitIndex("trial", t)
 		r := start
 		for r > 0 {
@@ -358,6 +402,10 @@ func findRollback(m *chip.Machine, label string, w workload.Profile, start, tria
 			}
 			r--
 		}
+		if tsp != nil {
+			tsp.Arg("limit", strconv.Itoa(r))
+		}
+		tsp.End()
 		d.Hist.Add(r)
 	}
 	if err := m.ProgramCPM(label, 0); err != nil {

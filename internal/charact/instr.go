@@ -1,0 +1,44 @@
+package charact
+
+import (
+	"repro/internal/chip"
+	"repro/internal/obs"
+)
+
+// instr carries the characterization's pre-resolved metric handles. The
+// zero value — all-nil handles, nil tracer — is the disabled plane and
+// is fully functional: every use below is a nil-safe no-op, so the
+// methodology code reads the same with observability on or off. It is
+// passed by value; the handles inside are shared.
+type instr struct {
+	tr *obs.Tracer
+
+	idleTrials   *obs.Counter // search trials, stage 1 (system idle)
+	ubenchTrials *obs.Counter // search trials, stage 2 (micro-benchmarks)
+	appTrials    *obs.Counter // search trials, stage 3 (applications)
+	runs         *obs.Counter // individual workload runs (chip trials)
+	retries      *obs.Counter // transient retries consumed by those runs
+	quarantines  *obs.Counter // cores abandoned to static margin
+}
+
+// newInstr resolves the handle set against r under the given metric
+// prefix (e.g. "atm_charact"). A nil registry yields the zero instr.
+func newInstr(r *obs.Registry, tr *obs.Tracer, prefix string) instr {
+	return instr{
+		tr:           tr,
+		idleTrials:   r.Counter(prefix+"_trials_total", "stage", "idle"),
+		ubenchTrials: r.Counter(prefix+"_trials_total", "stage", "ubench"),
+		appTrials:    r.Counter(prefix+"_trials_total", "stage", "app"),
+		runs:         r.Counter(prefix + "_runs_total"),
+		retries:      r.Counter(prefix + "_transient_retries_total"),
+		quarantines:  r.Counter(prefix + "_quarantines_total"),
+	}
+}
+
+// observeTrial is the chip.TrialObserver tap: one run, however many
+// transient retries it consumed. Outcomes only — it never draws
+// randomness or perturbs the trial.
+func (in instr) observeTrial(label, workload string, retries int, res chip.TrialResult, err error) {
+	in.runs.Inc()
+	in.retries.Add(int64(retries))
+}

@@ -99,10 +99,21 @@ type Machine struct {
 	// trialFault, when non-nil, is consulted after every trial so a
 	// fault injector can emulate a flaky test harness (see trial.go).
 	trialFault TrialFault
+
+	// trialObserver, when non-nil, is notified after every retry-wrapped
+	// trial so the observability plane can count trials and transient
+	// retries without the chip package importing internal/obs.
+	trialObserver TrialObserver
 }
 
 // SetTrialFault arms (or, with nil, disarms) the trial fault hook.
 func (m *Machine) SetTrialFault(f TrialFault) { m.trialFault = f }
+
+// SetTrialObserver installs (or, with nil, removes) the trial observer
+// notified by RunTrialRetry and RunStressmarkRetry. The observer must
+// not run trials itself and must not draw randomness — it sees
+// outcomes, it does not influence them.
+func (m *Machine) SetTrialObserver(o TrialObserver) { m.trialObserver = o }
 
 // Options configures machine construction.
 type Options struct {

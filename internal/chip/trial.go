@@ -164,36 +164,51 @@ func (m *Machine) RunStressmark(label string, s workload.Stressmark, src *rng.So
 	return res, nil
 }
 
+// TrialObserver is notified once per retry-wrapped trial (RunTrialRetry
+// / RunStressmarkRetry) with the number of transient retries consumed
+// and the final outcome. It is the observability plane's tap: observers
+// count and trace, they never perturb the trial or its random streams.
+type TrialObserver func(label, workload string, retries int, res TrialResult, err error)
+
 // retryTransient runs one trial attempt through run, retrying up to
 // retries additional times when the attempt fails with an error wrapping
 // ErrTransient. Attempt 0 draws from src itself — so with no faults
 // armed the stream consumed is identical to a plain single run — and
 // each retry draws from an independent split, keeping the parent stream
-// untouched.
-func retryTransient(run func(*rng.Source) (TrialResult, error), src *rng.Source, retries int) (TrialResult, error) {
-	res, err := run(src)
+// untouched. used reports how many retries were actually consumed.
+func retryTransient(run func(*rng.Source) (TrialResult, error), src *rng.Source, retries int) (res TrialResult, used int, err error) {
+	res, err = run(src)
 	for a := 1; a <= retries && err != nil && errors.Is(err, ErrTransient); a++ {
+		used = a
 		res, err = run(src.SplitIndex("retry", a))
 	}
 	if err != nil && errors.Is(err, ErrTransient) && retries > 0 {
-		return res, fmt.Errorf("%w (persisted through %d retries)", err, retries)
+		return res, used, fmt.Errorf("%w (persisted through %d retries)", err, retries)
 	}
-	return res, err
+	return res, used, err
 }
 
 // RunTrialRetry is RunTrial with a bounded retry budget for transient
 // harness failures (ErrTransient). Genuine model errors and timing
 // violations are never retried.
 func (m *Machine) RunTrialRetry(label string, w workload.Profile, src *rng.Source, retries int) (TrialResult, error) {
-	return retryTransient(func(s *rng.Source) (TrialResult, error) {
+	res, used, err := retryTransient(func(s *rng.Source) (TrialResult, error) {
 		return m.RunTrial(label, w, s)
 	}, src, retries)
+	if m.trialObserver != nil {
+		m.trialObserver(label, w.Name, used, res, err)
+	}
+	return res, err
 }
 
 // RunStressmarkRetry is RunStressmark with a bounded retry budget for
 // transient harness failures.
 func (m *Machine) RunStressmarkRetry(label string, s workload.Stressmark, src *rng.Source, retries int) (TrialResult, error) {
-	return retryTransient(func(r *rng.Source) (TrialResult, error) {
+	res, used, err := retryTransient(func(r *rng.Source) (TrialResult, error) {
 		return m.RunStressmark(label, s, r)
 	}, src, retries)
+	if m.trialObserver != nil {
+		m.trialObserver(label, s.Profile.Name, used, res, err)
+	}
+	return res, err
 }

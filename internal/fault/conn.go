@@ -24,10 +24,11 @@ type lineFaults struct {
 	drop    float64
 	garble  float64
 	pending []byte
+	hits    *hits // the owning injector's counters, resolved at fire time
 }
 
-func newLineFaults(r io.Reader, src *rng.Source, drop, garble float64) *lineFaults {
-	return &lineFaults{br: bufio.NewReaderSize(r, 4096), src: src, drop: drop, garble: garble}
+func newLineFaults(r io.Reader, src *rng.Source, drop, garble float64, h *hits) *lineFaults {
+	return &lineFaults{br: bufio.NewReaderSize(r, 4096), src: src, drop: drop, garble: garble, hits: h}
 }
 
 // Read delivers bytes of the next surviving (possibly garbled) line.
@@ -46,8 +47,10 @@ func (lf *lineFaults) Read(p []byte) (int, error) {
 		}
 		switch u := lf.src.Float64(); {
 		case u < lf.drop:
+			lf.hits.linesDropped.Inc()
 			continue // line lost on the wire
 		case u < lf.drop+lf.garble:
+			lf.hits.linesGarbled.Inc()
 			lf.pending = garbleLine(line)
 		default:
 			lf.pending = []byte(line)
@@ -90,7 +93,7 @@ func (in *Injector) WrapConn(c net.Conn) net.Conn {
 	}
 	in.conns++
 	src := in.root.SplitIndex("conn", in.conns)
-	return &Conn{Conn: c, lf: newLineFaults(c, src, in.profile.DropProb, in.profile.GarbleProb)}
+	return &Conn{Conn: c, lf: newLineFaults(c, src, in.profile.DropProb, in.profile.GarbleProb, &in.hits)}
 }
 
 // readWriter is WrapReadWriter's deadline-less transport.
@@ -111,5 +114,5 @@ func (in *Injector) WrapReadWriter(rw io.ReadWriter) io.ReadWriter {
 	}
 	in.conns++
 	src := in.root.SplitIndex("conn", in.conns)
-	return &readWriter{lf: newLineFaults(rw, src, in.profile.DropProb, in.profile.GarbleProb), w: rw}
+	return &readWriter{lf: newLineFaults(rw, src, in.profile.DropProb, in.profile.GarbleProb, &in.hits), w: rw}
 }

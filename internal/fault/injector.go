@@ -7,8 +7,23 @@ import (
 	"repro/internal/chip"
 	"repro/internal/cpm"
 	"repro/internal/fsp"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// hits is the injector's per-site fire counters. The zero value (all
+// nil handles) is the disabled plane; Observe resolves the handles.
+// Hooks read the fields at fire time through the injector pointer, so
+// Observe works whether it is called before or after arming.
+type hits struct {
+	cpmUpsets     *obs.Counter
+	cpmStuck      *obs.Counter
+	telemetryErrs *obs.Counter
+	linesDropped  *obs.Counter
+	linesGarbled  *obs.Counter
+	trialSpurious *obs.Counter
+	trialBroken   *obs.Counter
+}
 
 // Injector arms a Profile on a platform. All randomness descends from
 // one seeded root via labelled splits, so every armed layer draws an
@@ -31,6 +46,29 @@ type Injector struct {
 	conns   int
 	machine *chip.Machine
 	ctl     *fsp.Controller
+	hits    hits
+}
+
+// Observe resolves per-site fire counters against r, so every injected
+// fault — CPM upsets and stuck reads, telemetry errors, dropped and
+// garbled lines, spurious and broken-core trial faults — is counted as
+// it lands. Call it before driving traffic through armed hooks (order
+// relative to the Arm* calls does not matter). A nil registry disables
+// counting again.
+func (in *Injector) Observe(r *obs.Registry) {
+	if r == nil {
+		in.hits = hits{}
+		return
+	}
+	in.hits = hits{
+		cpmUpsets:     r.Counter("fault_cpm_upsets_total"),
+		cpmStuck:      r.Counter("fault_cpm_stuck_reads_total"),
+		telemetryErrs: r.Counter("fault_telemetry_errors_total"),
+		linesDropped:  r.Counter("fault_lines_dropped_total"),
+		linesGarbled:  r.Counter("fault_lines_garbled_total"),
+		trialSpurious: r.Counter("fault_trial_spurious_total"),
+		trialBroken:   r.Counter("fault_trial_broken_total"),
+	}
 }
 
 // New builds an injector from a validated profile and a seed.
@@ -131,10 +169,12 @@ func (in *Injector) ArmMachine(m *chip.Machine) {
 				// worst-of-five makes it the reading.
 				r.Units = stuckUnits
 				r.WorstSite = stuckSite
+				in.hits.cpmStuck.Inc()
 			}
 			if upset > 0 && src.Float64() < upset {
 				delta := src.Intn(2*mag+1) - mag
 				r.Units += delta
+				in.hits.cpmUpsets.Inc()
 			}
 			return r
 		})
@@ -149,10 +189,12 @@ func (in *Injector) ArmMachine(m *chip.Machine) {
 	terr := in.profile.TrialErrProb
 	m.SetTrialFault(func(label, workload string, res chip.TrialResult) (chip.TrialResult, error) {
 		if brokenSet[label] {
+			in.hits.trialBroken.Inc()
 			return res, fmt.Errorf("fault: core %s harness broken (%s): %w",
 				label, workload, chip.ErrTransient)
 		}
 		if terr > 0 && tsrc.Float64() < terr {
+			in.hits.trialSpurious.Inc()
 			return res, fmt.Errorf("fault: spurious harness failure on %s (%s): %w",
 				label, workload, chip.ErrTransient)
 		}
@@ -177,6 +219,7 @@ func (in *Injector) ArmController(ctl *fsp.Controller) {
 	p := in.profile.TelemetryErrProb
 	ctl.SetReadFault(func(a fsp.Addr) error {
 		if src.Float64() < p {
+			in.hits.telemetryErrs.Inc()
 			return fmt.Errorf("transient telemetry upset at %#x: %w", uint32(a), chip.ErrTransient)
 		}
 		return nil

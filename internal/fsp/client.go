@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is the operator-plane counterpart of Session: it drives the
@@ -35,6 +37,34 @@ type Client struct {
 	opt ClientOptions
 	seq int
 	st  ClientStats
+	ob  clientObs
+}
+
+// clientObs is the client's pre-resolved metric handle set. The zero
+// value (all nil) is the disabled plane; every use is a nil-safe no-op.
+type clientObs struct {
+	commands  *obs.Counter
+	retries   *obs.Counter
+	resyncs   *obs.Counter
+	discarded *obs.Counter
+	exhausted *obs.Counter
+	attempts  *obs.Histogram // attempts consumed per command (1 = clean)
+}
+
+func newClientObs(r *obs.Registry) clientObs {
+	if r == nil {
+		return clientObs{}
+	}
+	return clientObs{
+		commands:  r.Counter("fsp_client_commands_total"),
+		retries:   r.Counter("fsp_client_retries_total"),
+		resyncs:   r.Counter("fsp_client_resyncs_total"),
+		discarded: r.Counter("fsp_client_discarded_total"),
+		exhausted: r.Counter("fsp_client_exhausted_total"),
+		// The command "latency" of a simulated link is how many attempts
+		// it took, not wall time — wall time would break determinism.
+		attempts: r.Histogram("fsp_client_attempts_per_command", []float64{1, 2, 3, 4, 8}),
+	}
 }
 
 // ClientOptions tunes the client's resilience envelope.
@@ -57,6 +87,11 @@ type ClientOptions struct {
 	// ResyncWindow is how many stale lines a re-sync may discard while
 	// hunting for its pong before the attempt is abandoned. Default 32.
 	ResyncWindow int
+	// Obs, when non-nil, surfaces the ClientStats counters the client
+	// already pays for (commands, retries, resyncs, discarded lines,
+	// exhausted budgets) as fsp_client_* metrics, plus a histogram of
+	// attempts consumed per command. Nil disables at ~zero cost.
+	Obs *obs.Registry
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -109,7 +144,8 @@ var ErrExhausted = errors.New("retry budget exhausted")
 // NewClient wraps a transport. The transport is used from one goroutine
 // at a time.
 func NewClient(rw io.ReadWriter, opts ClientOptions) *Client {
-	return &Client{rw: rw, br: bufio.NewReaderSize(rw, 4096), opt: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Client{rw: rw, br: bufio.NewReaderSize(rw, 4096), opt: o, ob: newClientObs(o.Obs)}
 }
 
 // Stats returns the counters accumulated so far.
@@ -184,6 +220,7 @@ func (c *Client) resync() error {
 	c.seq++
 	token := fmt.Sprintf("sync-%d", c.seq)
 	c.st.Resyncs++
+	c.ob.resyncs.Inc()
 	if err := c.writeLine("ping " + token); err != nil {
 		return err
 	}
@@ -197,6 +234,7 @@ func (c *Client) resync() error {
 			return nil
 		}
 		c.st.Discarded++
+		c.ob.discarded.Inc()
 	}
 	return fmt.Errorf("fsp: resync token %s not echoed within %d lines", token, c.opt.ResyncWindow)
 }
@@ -208,10 +246,12 @@ func (c *Client) resync() error {
 // ErrExhausted.
 func (c *Client) Exec(cmd string) (string, error) {
 	c.st.Commands++
+	c.ob.commands.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if attempt > 0 {
 			c.st.Retries++
+			c.ob.retries.Inc()
 			d := c.opt.Backoff(attempt)
 			c.st.Backoff += d
 			if c.opt.Sleep != nil {
@@ -234,6 +274,7 @@ func (c *Client) Exec(cmd string) (string, error) {
 		resp, wellFormed := parseResponse(line)
 		if !wellFormed {
 			c.st.Discarded++
+			c.ob.discarded.Inc()
 			lastErr = fmt.Errorf("fsp: garbled response %q", line)
 			continue
 		}
@@ -243,10 +284,14 @@ func (c *Client) Exec(cmd string) (string, error) {
 				lastErr = cerr
 				continue
 			}
+			c.ob.attempts.Observe(float64(attempt + 1))
 			return "", cerr
 		}
+		c.ob.attempts.Observe(float64(attempt + 1))
 		return resp.payload, nil
 	}
+	c.ob.exhausted.Inc()
+	c.ob.attempts.Observe(float64(c.opt.Retries + 1))
 	return "", fmt.Errorf("fsp: %q failed after %d attempts: %w: %w",
 		cmd, c.opt.Retries+1, ErrExhausted, lastErr)
 }

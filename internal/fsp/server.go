@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The network face of the service processor: on real hardware the FSP
@@ -33,6 +35,12 @@ type Server struct {
 
 	mu sync.Mutex // serializes command execution across connections
 
+	// reg, when non-nil, is forwarded to every per-connection session
+	// (per-verb counters, the "stats" verb) and counts accepted
+	// connections. Set via Observe before Serve.
+	reg   *obs.Registry
+	connc *obs.Counter
+
 	wg      sync.WaitGroup
 	stateMu sync.Mutex // guards closing/listener/conns against Serve↔Close races
 	closed  bool
@@ -50,6 +58,14 @@ func NewServer(ctl *Controller) *Server {
 		closing:     make(chan struct{}),
 		conns:       map[net.Conn]struct{}{},
 	}
+}
+
+// Observe attaches a metrics registry: accepted connections are
+// counted, and every session serves per-verb counters plus the
+// read-only "stats" verb over it. Call before Serve; nil disables.
+func (s *Server) Observe(r *obs.Registry) {
+	s.reg = r
+	s.connc = r.Counter("fsp_server_connections_total")
 }
 
 // Serve accepts connections on l until Close is called or the listener
@@ -103,7 +119,11 @@ func (s *Server) Serve(l net.Listener) error {
 // serveConn runs one session over a connection, serializing each command
 // against the shared controller.
 func (s *Server) serveConn(conn net.Conn) {
+	s.connc.Inc()
 	sess := NewSession(s.ctl)
+	if s.reg != nil {
+		sess.Observe(s.reg)
+	}
 	locked := &lockedSession{sess: sess, mu: &s.mu}
 	var rw net.Conn = conn
 	if s.IdleTimeout > 0 {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Session is the line-oriented operator protocol over a controller —
@@ -25,9 +27,49 @@ import (
 //	chip <P0|P1>                      chip telemetry line
 //	cores                             list core labels
 //	ping <token>                      echo (client liveness / re-sync)
+//	stats                             read-only metrics snapshot (JSON)
 //	quit                              end the session
 type Session struct {
 	ctl *Controller
+	ob  sessionObs
+}
+
+// sessionObs is the session's pre-resolved metric handle set plus the
+// registry the "stats" verb snapshots. The zero value is the disabled
+// plane: counters no-op and "stats" answers the empty snapshot.
+type sessionObs struct {
+	reg     *obs.Registry
+	verbs   map[string]*obs.Counter // per known verb
+	unknown *obs.Counter
+	errs    *obs.Counter
+}
+
+// sessionVerbs is every verb the dispatcher understands ("quit" is
+// handled by the serve loop and never reaches Exec).
+var sessionVerbs = []string{
+	"getscom", "putscom", "cpm", "mode", "pstate", "gate",
+	"freq", "chip", "cores", "ping", "stats",
+}
+
+// Observe resolves per-verb command counters and an in-band error
+// counter against r, and makes r the registry the read-only "stats"
+// verb dumps — the software analogue of reading telemetry SCOMs over
+// the wire. Call before serving traffic; nil disables again.
+func (s *Session) Observe(r *obs.Registry) {
+	if r == nil {
+		s.ob = sessionObs{}
+		return
+	}
+	verbs := make(map[string]*obs.Counter, len(sessionVerbs))
+	for _, v := range sessionVerbs {
+		verbs[v] = r.Counter("fsp_session_commands_total", "verb", v)
+	}
+	s.ob = sessionObs{
+		reg:     r,
+		verbs:   verbs,
+		unknown: r.Counter("fsp_session_commands_total", "verb", "unknown"),
+		errs:    r.Counter("fsp_session_errors_total"),
+	}
 }
 
 // NewSession wraps a controller.
@@ -116,11 +158,18 @@ func readCappedLine(br *bufio.Reader, limit int) (line string, tooLong bool, err
 func (s *Session) Exec(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
+		s.ob.errs.Inc()
 		return "err empty command"
 	}
 	cmd, args := fields[0], fields[1:]
+	if vc, known := s.ob.verbs[cmd]; known {
+		vc.Inc()
+	} else {
+		s.ob.unknown.Inc()
+	}
 	out, err := s.dispatch(cmd, args)
 	if err != nil {
+		s.ob.errs.Inc()
 		return "err " + err.Error()
 	}
 	if out == "" {
@@ -289,6 +338,14 @@ func (s *Session) dispatch(cmd string, args []string) (string, error) {
 		// Echo for liveness probes and client re-sync: the token lets a
 		// client discard stale response lines after a transport fault.
 		return "pong " + args[0], nil
+
+	case "stats":
+		if len(args) != 0 {
+			return "", fmt.Errorf("usage: stats")
+		}
+		// Read-only: one compact JSON line of every registered metric.
+		// With no registry attached the snapshot is legitimately empty.
+		return string(s.ob.reg.SnapshotJSON()), nil
 
 	default:
 		return "", fmt.Errorf("unknown command %q", cmd)

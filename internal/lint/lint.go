@@ -179,6 +179,7 @@ func DefaultConfig() *Config {
 			"repro/internal/predict",
 			"repro/internal/workload",
 			"repro/internal/thermal",
+			"repro/internal/obs",
 		},
 		ErrPackages: []string{
 			"repro/cmd/",

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/charact"
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/tuning"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -154,6 +155,13 @@ type Manager struct {
 	ChipLabel string
 	// Governor selects the CPM policy for the managed scenarios.
 	Governor Governor
+	// Obs, when non-nil, counts evaluations by scenario, critical-core
+	// placements, and background throttle decisions. Nil (the default)
+	// disables collection.
+	Obs *obs.Registry
+	// Trace, when non-nil, records placement decisions as instants on
+	// the logical clock.
+	Trace *obs.Tracer
 }
 
 // NewManager wires a manager over a deployed machine. Predictors are
@@ -264,6 +272,12 @@ func (mg *Manager) Evaluate(s Scenario, pair Pair, qosTarget float64) (Evaluatio
 		return Evaluation{}, fmt.Errorf("manage: unknown scenario %v", s)
 	}
 
+	mg.Obs.Counter("manage_evaluations_total", "scenario", s.String()).Inc()
+	mg.Obs.Counter("manage_placements_total", "core", ev.CriticalCore).Inc()
+	if mg.Trace != nil {
+		mg.Trace.Instant("manage", "placement", ev.CriticalCore,
+			"scenario", s.String(), "pair", pair.Label())
+	}
 	return mg.measure(ev, pair, qosTarget)
 }
 
@@ -313,6 +327,7 @@ func (mg *Manager) configure(mode bgMode, criticalCore string, pair Pair, bgPSta
 				if err := core.SetPState(bgPState); err != nil {
 					return err
 				}
+				mg.Obs.Counter("manage_throttles_total").Inc()
 			} else {
 				core.SetMode(chip.ModeATM)
 				if err := mg.M.ProgramCPM(label, cfg.Reduction); err != nil {

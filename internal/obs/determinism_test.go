@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// charactOpts is the quick faulted characterization the determinism
+// checks run twice.
+func charactOpts(reg *obs.Registry, tr *obs.Tracer) charact.Options {
+	return charact.Options{
+		Trials:        2,
+		RunsPerConfig: 2,
+		Apps:          workload.Realistic()[:2],
+		Obs:           reg,
+		Trace:         tr,
+	}
+}
+
+// runFaulted characterizes a freshly-built reference machine under a
+// seeded fault profile with the full observability plane attached, and
+// returns the exported metrics snapshot and trace file.
+func runFaulted(t *testing.T) (*charact.Report, []byte, []byte) {
+	t.Helper()
+	p, err := fault.ParseProfile("test-floor,broken=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := chip.NewReference()
+	inj := fault.New(p, 7)
+	inj.ArmMachine(m)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	inj.Observe(reg)
+	rep, err := charact.Characterize(m, charactOpts(reg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := tr.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return rep, reg.SnapshotJSON(), tb.Bytes()
+}
+
+// TestFaultedCharacterizeObsDeterministic: two identically-seeded
+// faulted characterize runs export byte-identical metrics snapshots and
+// trace files — the tentpole's core determinism contract.
+func TestFaultedCharacterizeObsDeterministic(t *testing.T) {
+	_, snapA, traceA := runFaulted(t)
+	_, snapB, traceB := runFaulted(t)
+	if !bytes.Equal(snapA, snapB) {
+		t.Errorf("metrics snapshots differ across identically-seeded runs:\n%s\n%s", snapA, snapB)
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Errorf("trace files differ across identically-seeded runs")
+	}
+}
+
+// TestObsCollectsFaultedRun: the snapshot of a faulted run actually
+// carries the events the run paid for — trials, runs, retries, the
+// quarantine, and injected trial faults.
+func TestObsCollectsFaultedRun(t *testing.T) {
+	rep, snap, trace := runFaulted(t)
+	quarantined := 0
+	for _, c := range rep.Cores {
+		if c.Quarantined {
+			quarantined++
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("broken=1 profile produced no quarantine; counters untestable")
+	}
+	for _, want := range []string{
+		`"name":"atm_charact_runs_total"`,
+		`"name":"atm_charact_trials_total"`,
+		`"name":"atm_charact_transient_retries_total"`,
+		`"name":"atm_charact_quarantines_total","labels":"","type":"counter","value":` + strconv.Itoa(quarantined),
+		`"name":"fault_trial_broken_total"`,
+	} {
+		if !bytes.Contains(snap, []byte(want)) {
+			t.Errorf("snapshot missing %s:\n%s", want, snap)
+		}
+	}
+	for _, want := range []string{`"quarantine"`, `"stage:idle"`, `"trial"`} {
+		if !bytes.Contains(trace, []byte(want)) {
+			t.Errorf("trace missing %s event", want)
+		}
+	}
+}
+
+// TestObsPlaneDoesNotPerturbResults: the report of an instrumented run
+// is identical to the report of an uninstrumented run — instrumentation
+// observes the random streams, it never draws from them.
+func TestObsPlaneDoesNotPerturbResults(t *testing.T) {
+	m1 := chip.NewReference()
+	plain, err := charact.Characterize(m1, charactOpts(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := chip.NewReference()
+	instrumented, err := charact.Characterize(m2, charactOpts(obs.NewRegistry(), obs.NewTracer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.TableI(), instrumented.TableI()) {
+		t.Error("attaching the observability plane changed Table I")
+	}
+}

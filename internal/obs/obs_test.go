@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("trials_total", "stage", "idle")
+	c.Inc()
+	c.Add(3)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter value = %d, want 4", got)
+	}
+	if r.Counter("trials_total", "stage", "idle") != c {
+		t.Fatalf("re-registration returned a different counter handle")
+	}
+
+	g := r.Gauge("stress_limit", "core", "EP00")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge value = %g, want 2", got)
+	}
+
+	h := r.Histogram("attempts", []float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("histogram count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 16 {
+		t.Fatalf("histogram sum = %g, want 16", got)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("has space") }},
+		{"odd labels", func(r *Registry) { r.Counter("c", "k") }},
+		{"bad label name", func(r *Registry) { r.Counter("c", "1bad", "v") }},
+		{"kind mismatch", func(r *Registry) { r.Counter("m"); r.Gauge("m") }},
+		{"empty buckets", func(r *Registry) { r.Histogram("h", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h", []float64{2, 1}) }},
+		{"bucket mismatch", func(r *Registry) {
+			r.Histogram("h", []float64{1, 2})
+			r.Histogram("h", []float64{1, 3})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	// Registration order deliberately scrambled: export must sort.
+	r.Gauge("zz_gauge").Set(1.5)
+	r.Counter("aa_total", "core", "EP01").Inc()
+	r.Counter("aa_total", "core", "EP00").Add(2)
+	h := r.Histogram("hh", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE aa_total counter",
+		`aa_total{core="EP00"} 2`,
+		`aa_total{core="EP01"} 1`,
+		"# TYPE hh histogram",
+		`hh_bucket{le="1"} 1`,
+		`hh_bucket{le="2"} 1`,
+		`hh_bucket{le="+Inf"} 2`,
+		"hh_sum 5.5",
+		"hh_count 2",
+		"# TYPE zz_gauge gauge",
+		"zz_gauge 1.5",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("WriteProm:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "core", "EP\"0\\0\n").Inc()
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{core="EP\"0\\0\n"} 1` + "\n"
+	if got := b.String(); !strings.Contains(got, want) {
+		t.Fatalf("WriteProm = %q, want to contain %q", got, want)
+	}
+}
+
+func TestLabelsSortedByKey(t *testing.T) {
+	r := NewRegistry()
+	// Same series regardless of argument order.
+	a := r.Counter("c", "b", "2", "a", "1")
+	b := r.Counter("c", "a", "1", "b", "2")
+	if a != b {
+		t.Fatalf("label order created distinct series")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `c{a="1",b="2"} 0`) {
+		t.Fatalf("labels not key-sorted: %q", buf.String())
+	}
+}
+
+func TestSnapshotJSONValidAndDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b_total", "core", "EP01").Inc()
+		r.Counter("a_total").Add(7)
+		r.Gauge("g").Set(0.25)
+		h := r.Histogram("h", []float64{1, 10}, "verb", "ping")
+		h.Observe(3)
+		return r
+	}
+	s1 := build().SnapshotJSON()
+	s2 := build().SnapshotJSON()
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", s1, s2)
+	}
+	if bytes.ContainsRune(s1, '\n') {
+		t.Fatalf("SnapshotJSON is not a single line: %q", s1)
+	}
+	var doc struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(s1, &doc); err != nil {
+		t.Fatalf("SnapshotJSON not valid JSON: %v\n%s", err, s1)
+	}
+	if len(doc.Metrics) != 4 {
+		t.Fatalf("got %d metrics, want 4: %s", len(doc.Metrics), s1)
+	}
+	if doc.Metrics[0]["name"] != "a_total" {
+		t.Fatalf("metrics not sorted by name: %s", s1)
+	}
+}
+
+func TestNilRegistryExports(t *testing.T) {
+	var r *Registry
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil WriteProm = (%q, %v), want empty", b.String(), err)
+	}
+	if got := string(r.SnapshotJSON()); got != `{"metrics":[]}` {
+		t.Fatalf("nil SnapshotJSON = %q", got)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != `{"metrics":[]}`+"\n" {
+		t.Fatalf("nil WriteJSON = %q", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", []float64{10, 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// disabledTrialInstrumentation is the exact call sequence an
+// instrumented trial hot path pays with the plane disabled: resolved
+// nil handles, one span, a few counter bumps, one observation.
+func disabledTrialInstrumentation(tr *Tracer, c *Counter, g *Gauge, h *Histogram) {
+	sp := tr.Begin("charact", "trial", "EP00")
+	c.Inc()
+	c.Add(2)
+	g.Set(1.5)
+	h.Observe(3)
+	tr.Instant("charact", "retry", "EP00")
+	sp.End()
+}
+
+func TestDisabledObsZeroAlloc(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil) // nil registry: bounds never validated
+	allocs := testing.AllocsPerRun(100, func() {
+		disabledTrialInstrumentation(tr, c, g, h)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs plane allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledTrialInstrumentation(b *testing.B) {
+	var r *Registry
+	var tr *Tracer
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledTrialInstrumentation(tr, c, g, h)
+	}
+}
+
+func BenchmarkEnabledTrialInstrumentation(b *testing.B) {
+	r := NewRegistry()
+	tr := NewTracer()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2, 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledTrialInstrumentation(tr, c, g, h)
+	}
+}

@@ -136,6 +136,11 @@ func (s *Simulator) applyThrottling(running map[string]*active, p Policy) error 
 		}
 		if a.job.Class == ClassBackground {
 			if criticalResident {
+				// Count only real transitions: reconciliation blindly
+				// reapplies the target mode on every dispatch.
+				if core.Mode() != chip.ModeStatic {
+					s.ob.thrOn.Inc()
+				}
 				core.SetMode(chip.ModeStatic)
 				if err := core.SetPState(chip.PStateMax); err != nil {
 					return err
@@ -144,6 +149,9 @@ func (s *Simulator) applyThrottling(running map[string]*active, p Policy) error 
 				cfg, ok := s.dep.Config(label)
 				if !ok {
 					return errNoConfig(label)
+				}
+				if core.Mode() != chip.ModeATM {
+					s.ob.thrOff.Inc()
 				}
 				core.SetMode(chip.ModeATM)
 				if err := s.m.ProgramCPM(label, cfg.Reduction); err != nil {

@@ -18,8 +18,10 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/tuning"
@@ -131,6 +133,13 @@ type Options struct {
 	CritServiceSec, BGServiceSec float64
 	// Seed drives arrivals and service draws. Default 1.
 	Seed uint64
+	// Obs, when non-nil, counts dispatches and completions by class and
+	// throttle transitions. Nil (the default) disables collection.
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-job spans and scheduler decisions
+	// on the simulated clock (microseconds of simulated time), viewable
+	// in Perfetto with one track per core.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -220,7 +229,41 @@ type Simulator struct {
 	// fast-to-slow core order (deployment speed ranking, restricted to
 	// the managed chip).
 	bySpeed []string
+
+	// ob is the run's observability handle set, resolved by Run from
+	// Options. The zero value is the disabled plane.
+	ob schedObs
 }
+
+// schedObs is the scheduler's pre-resolved handle set; all-nil (the
+// zero value) disables collection.
+type schedObs struct {
+	tr       *obs.Tracer
+	dispCrit *obs.Counter
+	dispBG   *obs.Counter
+	doneCrit *obs.Counter
+	doneBG   *obs.Counter
+	thrOn    *obs.Counter
+	thrOff   *obs.Counter
+}
+
+func newSchedObs(r *obs.Registry, tr *obs.Tracer) schedObs {
+	if r == nil {
+		return schedObs{tr: tr}
+	}
+	return schedObs{
+		tr:       tr,
+		dispCrit: r.Counter("sched_dispatched_total", "class", "critical"),
+		dispBG:   r.Counter("sched_dispatched_total", "class", "background"),
+		doneCrit: r.Counter("sched_completed_total", "class", "critical"),
+		doneBG:   r.Counter("sched_completed_total", "class", "background"),
+		thrOn:    r.Counter("sched_throttle_transitions_total", "dir", "on"),
+		thrOff:   r.Counter("sched_throttle_transitions_total", "dir", "off"),
+	}
+}
+
+// usOf converts simulated seconds to the tracer's microsecond clock.
+func usOf(sec float64) int64 { return int64(sec * 1e6) }
 
 // NewSimulator wires a simulator over a machine and its deployment.
 func NewSimulator(m *chip.Machine, dep *tuning.Deployment, chipLabel string) (*Simulator, error) {
@@ -253,6 +296,7 @@ type active struct {
 // aggregate result. The machine is reset afterwards.
 func (s *Simulator) Run(trace []Job, o Options) (Result, error) {
 	o = o.withDefaults()
+	s.ob = newSchedObs(o.Obs, o.Trace)
 	defer s.m.ResetAll()
 	s.m.ResetAll()
 
@@ -334,6 +378,15 @@ func (s *Simulator) Run(trace []Job, o Options) (Result, error) {
 				queueBG = queueBG[1:]
 			}
 			running[core] = &active{job: job, remaining: job.ServiceSec, start: now, core: core}
+			if isCrit {
+				s.ob.dispCrit.Inc()
+			} else {
+				s.ob.dispBG.Inc()
+			}
+			if s.ob.tr != nil {
+				s.ob.tr.Instant("sched", "dispatch", core,
+					"job", strconv.Itoa(job.ID), "class", job.Class.String())
+			}
 			if err := s.configureCore(core, job, o.Policy); err != nil {
 				return err
 			}
@@ -390,6 +443,7 @@ func (s *Simulator) Run(trace []Job, o Options) (Result, error) {
 		}
 		energy += power * dt
 		now = next
+		s.ob.tr.SetTimeUS(usOf(now))
 
 		if arrivalEvent {
 			job := trace[nextJob]
@@ -399,12 +453,28 @@ func (s *Simulator) Run(trace []Job, o Options) (Result, error) {
 			} else {
 				queueBG = append(queueBG, job)
 			}
+			if s.ob.tr != nil {
+				s.ob.tr.Instant("sched", "arrival", "queue:"+job.Class.String(),
+					"job", strconv.Itoa(job.ID))
+			}
 		} else {
 			a := running[doneCore]
 			delete(running, doneCore)
 			res.Completed = append(res.Completed, JobRecord{
 				Job: a.job, StartSec: a.start, FinishSec: now, Core: doneCore,
 			})
+			if a.job.Class == ClassCritical {
+				s.ob.doneCrit.Inc()
+			} else {
+				s.ob.doneBG.Inc()
+			}
+			if s.ob.tr != nil {
+				// The job's whole residency as one exact-time span on the
+				// core's track.
+				s.ob.tr.Complete("sched", a.job.Workload.Name, doneCore,
+					usOf(a.start), usOf(now)-usOf(a.start),
+					"job", strconv.Itoa(a.job.ID), "class", a.job.Class.String())
+			}
 			// Freed core returns to idle until redispatched.
 			if err := s.idleCore(doneCore, o.Policy); err != nil {
 				return Result{}, err

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/chip"
 	"repro/internal/units"
@@ -47,6 +48,18 @@ func NewRecorder(capacity int, labels []string) (*Recorder, error) {
 // Labels returns the recorded core labels.
 func (r *Recorder) Labels() []string { return append([]string(nil), r.labels...) }
 
+// labelIndex returns the position of label in the recorder's core set,
+// or -1 when unknown. First match wins (labels should be unique; when
+// they are not, every consumer agrees on the same column).
+func (r *Recorder) labelIndex(label string) int {
+	for i, l := range r.labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
 // Add records one sample, evicting the oldest when full.
 func (r *Recorder) Add(s Sample) error {
 	if len(s.Freqs) != len(r.labels) {
@@ -82,12 +95,7 @@ func (r *Recorder) At(i int) Sample {
 // window of n samples — the sliding-window average the off-chip
 // controller reads.
 func (r *Recorder) WindowMean(label string, n int) (units.MHz, error) {
-	idx := -1
-	for i, l := range r.labels {
-		if l == label {
-			idx = i
-		}
-	}
+	idx := r.labelIndex(label)
 	if idx < 0 {
 		return 0, fmt.Errorf("telemetry: unknown core %q", label)
 	}
@@ -118,14 +126,25 @@ func (r *Recorder) MinSupply() (units.Volt, error) {
 	return lo, nil
 }
 
+// csvField quotes a header field per RFC 4180 when it contains a comma,
+// quote, or newline, so arbitrary core labels cannot corrupt the column
+// structure of the export.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // WriteCSV dumps the retained samples: time_ns, supply_mV, one frequency
-// column per core.
+// column per core. Core labels are RFC 4180-quoted on export, so labels
+// containing commas or quotes round-trip through any CSV reader.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprint(w, "time_ns,supply_mv"); err != nil {
 		return err
 	}
 	for _, l := range r.labels {
-		if _, err := fmt.Fprintf(w, ",%s_mhz", l); err != nil {
+		if _, err := fmt.Fprintf(w, ",%s", csvField(l+"_mhz")); err != nil {
 			return err
 		}
 	}
@@ -178,12 +197,7 @@ func RecordTransient(m *chip.Machine, chipLabel string, res chip.TransientResult
 // FreqQuantiles returns per-core frequency quantiles over the retained
 // trace, for summarizing long transients compactly.
 func (r *Recorder) FreqQuantiles(label string, qs []float64) ([]units.MHz, error) {
-	idx := -1
-	for i, l := range r.labels {
-		if l == label {
-			idx = i
-		}
-	}
+	idx := r.labelIndex(label)
 	if idx < 0 {
 		return nil, fmt.Errorf("telemetry: unknown core %q", label)
 	}

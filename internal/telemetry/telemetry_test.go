@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -132,6 +133,60 @@ func TestWriteCSV(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("CSV missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWriteCSVQuotesSpecialLabels(t *testing.T) {
+	labels := []string{`EP"0,0`, "plain", "multi\nline"}
+	r, _ := NewRecorder(4, labels)
+	_ = r.Add(mkSample(0, 1.25, 4600, 4610, 4620))
+	_ = r.Add(mkSample(1, 1.249, 4601, 4611, 4621))
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not parseable CSV: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3 (header + 2 samples)", len(rows))
+	}
+	header := rows[0]
+	if len(header) != 2+len(labels) {
+		t.Fatalf("header has %d columns, want %d: %q", len(header), 2+len(labels), header)
+	}
+	for i, l := range labels {
+		if got, want := header[2+i], l+"_mhz"; got != want {
+			t.Errorf("header column %d = %q, want %q", 2+i, got, want)
+		}
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Errorf("data row has %d columns, header has %d: %q", len(row), len(header), row)
+		}
+	}
+	if got := rows[1][2]; got != "4600" {
+		t.Errorf("first core frequency column = %q, want 4600", got)
+	}
+}
+
+func TestLabelIndexFirstMatch(t *testing.T) {
+	// Duplicate labels: every consumer must agree on the first column.
+	r, _ := NewRecorder(4, []string{"dup", "dup"})
+	_ = r.Add(mkSample(0, 1.25, 4000, 5000))
+	if got := r.labelIndex("dup"); got != 0 {
+		t.Fatalf("labelIndex = %d, want first match 0", got)
+	}
+	wm, err := r.WindowMean("dup", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 4000 {
+		t.Errorf("WindowMean picked column %v, want first-match 4000", wm)
+	}
+	if got := r.labelIndex("absent"); got != -1 {
+		t.Errorf("labelIndex(absent) = %d, want -1", got)
 	}
 }
 

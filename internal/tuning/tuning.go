@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/chip"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -49,6 +51,13 @@ type Options struct {
 	// before the core is quarantined at static margin. Default 2;
 	// negative disables retrying.
 	TrialRetries int
+	// Obs, when non-nil, collects counters and gauges for the run
+	// (stressmark runs, transient retries, quarantines, per-core limits).
+	// Nil — the default — disables collection and changes no output.
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-core stress-test spans on the
+	// logical clock for Perfetto inspection.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -252,6 +261,18 @@ func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
 	}
 	root := rng.New(o.Seed)
 	dep := &Deployment{Opts: o}
+	runs := o.Obs.Counter("atm_tune_runs_total")
+	rets := o.Obs.Counter("atm_tune_transient_retries_total")
+	quars := o.Obs.Counter("atm_tune_quarantines_total")
+	if o.Obs != nil {
+		// Tap every retry-wrapped stressmark run for run/retry counts.
+		// The tap observes outcomes only — trial streams are unchanged.
+		m.SetTrialObserver(func(label, workload string, retries int, res chip.TrialResult, err error) {
+			runs.Inc()
+			rets.Add(int64(retries))
+		})
+		defer m.SetTrialObserver(nil)
+	}
 
 	// Limits first (searches touch one core at a time). A core whose
 	// battery keeps failing with transient harness errors through the
@@ -262,18 +283,26 @@ func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
 	quarantine := map[string]string{}
 	for i, core := range m.AllCores() {
 		label := core.Profile.Label
+		sp := o.Trace.Begin("tune", "stress-test", label)
 		lim, err := StressTestCore(m, label, o, root.SplitIndex(label, i))
 		if err != nil {
 			if !errors.Is(err, chip.ErrTransient) {
 				return nil, err
 			}
 			quarantine[label] = err.Error()
+			quars.Inc()
+			o.Trace.Instant("tune", "quarantine", label)
 			if perr := m.ProgramCPM(label, 0); perr != nil {
 				return nil, perr
 			}
 			lim = 0
 		}
+		if sp != nil {
+			sp.Arg("limit", strconv.Itoa(lim))
+		}
+		sp.End()
 		limits[label] = lim
+		o.Obs.Gauge("atm_tune_stress_limit", "core", label).Set(float64(lim))
 	}
 
 	// Program the deployment. Quarantined cores stay at reduction 0 in
@@ -348,6 +377,7 @@ func Deploy(m *chip.Machine, opts Options) (*Deployment, error) {
 			cc.Quarantined = true
 			cc.QuarantineReason = reason
 		}
+		o.Obs.Gauge("atm_tune_deployed_reduction", "core", label).Set(float64(cc.Reduction))
 		dep.Configs = append(dep.Configs, cc)
 	}
 	return dep, nil
