@@ -38,6 +38,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/manage"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -101,6 +102,21 @@ type (
 	// (openable in Perfetto); a nil tracer disables tracing.
 	Tracer = obs.Tracer
 
+	// FleetJob is one self-contained experiment spec of a fleet
+	// campaign (characterize / tune / Monte-Carlo deployment over a
+	// generated or reference server).
+	FleetJob = fleet.Job
+	// FleetCampaign is an ordered set of independent fleet jobs; the
+	// job order is the canonical merge order of the results.
+	FleetCampaign = fleet.Campaign
+	// FleetOptions configures a campaign run: worker-pool bound,
+	// content-addressed cache directory, checkpoint resume, and obs
+	// plane wiring.
+	FleetOptions = fleet.Options
+	// FleetResult is the merged campaign outcome in canonical job
+	// order — byte-identical for every worker count.
+	FleetResult = fleet.CampaignResult
+
 	// Manager is the managed-ATM scheduler.
 	Manager = manage.Manager
 	// Governor selects the CPM configuration policy.
@@ -144,6 +160,13 @@ const (
 	GovernorDefault      = manage.GovernorDefault
 	GovernorConservative = manage.GovernorConservative
 	GovernorAggressive   = manage.GovernorAggressive
+)
+
+// Fleet job kinds (internal/fleet).
+const (
+	FleetCharacterize = fleet.KindCharacterize
+	FleetTune         = fleet.KindTune
+	FleetMonteCarlo   = fleet.KindMonteCarlo
 )
 
 // Dynamic scheduling policies (internal/sched).
@@ -255,6 +278,34 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewTracer builds an empty span tracer keyed on simulated/logical time
 // (never the wall clock). Export with WriteJSON.
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// RunCampaign fans a campaign of independent experiment jobs across a
+// bounded worker pool and merges the results in canonical job order.
+// The merged output — and every obs export — is byte-identical
+// regardless of Workers; with a cache directory, completed jobs are
+// content-addressed on disk so re-runs skip them and a killed campaign
+// resumes from its checkpoint.
+func RunCampaign(c *FleetCampaign, o FleetOptions) (*FleetResult, error) {
+	return fleet.Run(c, o)
+}
+
+// MonteCarloCampaign builds the Monte-Carlo population campaign: n
+// servers manufactured from silicon seeds start..start+n-1, each
+// stress-test deployed.
+func MonteCarloCampaign(n int, start uint64) *FleetCampaign { return fleet.MonteCarlo(n, start) }
+
+// TuneCampaign builds a deployment sweep over n generated servers,
+// optionally under a deterministic fault profile whose per-job streams
+// are independent rng splits of faultSeed.
+func TuneCampaign(n int, start uint64, rollback int, faultProfile string, faultSeed uint64) *FleetCampaign {
+	return fleet.TuneSweep(n, start, rollback, faultProfile, faultSeed)
+}
+
+// CharacterizeCampaign builds a characterization sweep over n generated
+// servers (trials 0 = the methodology default).
+func CharacterizeCampaign(n int, start uint64, trials int, faultProfile string, faultSeed uint64) *FleetCampaign {
+	return fleet.CharacterizeSweep(n, start, trials, faultProfile, faultSeed)
+}
 
 // ReferenceTableIRow returns the paper's published Table I limits for a
 // reference core label, for comparing regenerated results against the

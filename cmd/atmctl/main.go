@@ -7,11 +7,15 @@
 //
 //	atmctl characterize [-trials 10] [-seed 1]
 //	atmctl tune [-rollback 0]
-//	atmctl characterize|tune ... [-metrics-out m.json] [-trace-out t.json]
 //	atmctl schedule -critical squeezenet -background lu_cb [-scenario managed-balanced] [-qos 0.10]
 //	atmctl sweep -core P0C3
+//	atmctl fleet -kind montecarlo -n 32 -workers 8 [-cache-dir .fleet] [-resume]
 //	atmctl transient [-chip P0] [-steps 2000] [-stress]
 //	atmctl status
+//
+// characterize, tune, schedule, sweep and fleet accept -metrics-out
+// and -trace-out to export the run's deterministic metrics snapshot
+// and Perfetto trace.
 //
 // Add -generated <seed> to any subcommand to run on Monte-Carlo silicon
 // instead of the paper-calibrated reference server.
@@ -46,6 +50,8 @@ func main() {
 		err = cmdSchedule(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "fleet":
+		err = cmdFleet(args)
 	case "transient":
 		err = cmdTransient(args)
 	case "status":
@@ -60,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|transient|status> [flags]
+	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|transient|status> [flags]
 run "atmctl <subcommand> -h" for flags`)
 	os.Exit(2)
 }
@@ -306,6 +312,7 @@ func cmdSchedule(args []string) error {
 	qos := fs.Float64("qos", 0.10, "balanced-mode improvement target over static margin")
 	governor := fs.String("governor", "default", "default | conservative | aggressive")
 	build := machineFlag(fs)
+	attach, flush := obsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -325,11 +332,12 @@ func cmdSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := atm.Characterize(m, atm.CharactOptions{})
+	reg, tr := attach(nil)
+	rep, err := atm.Characterize(m, atm.CharactOptions{Obs: reg, Trace: tr})
 	if err != nil {
 		return err
 	}
-	dep, err := atm.Deploy(m, atm.DeployOptions{})
+	dep, err := atm.Deploy(m, atm.DeployOptions{Obs: reg, Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -337,6 +345,7 @@ func cmdSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
+	mgr.Obs, mgr.Trace = reg, tr
 	switch *governor {
 	case "default":
 		mgr.Governor = atm.GovernorDefault
@@ -349,6 +358,9 @@ func cmdSchedule(args []string) error {
 	}
 	ev, err := mgr.Evaluate(scenario, atm.Pair{Critical: crit, Background: bg}, *qos)
 	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
 		return err
 	}
 	t := &report.Table{Title: fmt.Sprintf("Schedule %s under %s", ev.Pair.Label(), ev.Scenario)}
@@ -374,6 +386,7 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	label := fs.String("core", "P0C3", "core to sweep")
 	build := machineFlag(fs)
+	attach, flush := obsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,6 +398,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg, tr := attach(nil)
 	st, err := m.Solve()
 	if err != nil {
 		return err
@@ -397,6 +411,8 @@ func cmdSweep(args []string) error {
 		Title:  fmt.Sprintf("Frequency vs CPM delay reduction — %s (idle supply %.3f V)", *label, float64(cs.Supply)),
 		Header: []string{"reduction", "settled freq (MHz)", "guard (ps)"},
 	}
+	rows := reg.Counter("atmctl_sweep_rows_total", "core", *label)
+	sp := tr.Begin("sweep", "reduction-sweep", *label)
 	for r := 0; r <= core.Profile.MaxReduction(); r++ {
 		f, err := core.Profile.SettledFreq(r, cs.Supply)
 		if err != nil {
@@ -406,7 +422,163 @@ func cmdSweep(args []string) error {
 		if err != nil {
 			return err
 		}
+		rows.Inc()
 		t.AddRow(fmt.Sprintf("%d", r), report.F(float64(f), 0), report.F(float64(g), 1))
+	}
+	sp.Arg("core", *label).End()
+	if err := flush(); err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	kind := fs.String("kind", "montecarlo", "campaign kind: montecarlo | characterize | tune")
+	n := fs.Int("n", 8, "number of jobs (generated servers)")
+	workers := fs.Int("workers", 4, "worker pool bound (output is identical for every value)")
+	start := fs.Uint64("seed", 1, "first silicon seed of the sweep")
+	trials := fs.Int("trials", 0, "characterize: trials per (core, workload); 0 = default")
+	rollback := fs.Int("rollback", 0, "tune: safety steps below the stress-test limit")
+	faultProfile := fs.String("fault-profile", "",
+		"characterize/tune: arm this fault profile on every job (per-job seeds are independent rng splits)")
+	faultSeed := fs.Uint64("fault-seed", 1, "base fault seed the per-job streams split from")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache + checkpoint manifest directory")
+	resume := fs.Bool("resume", false, "continue a killed campaign from its checkpoint in -cache-dir")
+	jsonOut := fs.Bool("json", false, "emit the merged campaign result as JSON instead of a table")
+	attach, flush := obsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var camp *atm.FleetCampaign
+	switch *kind {
+	case "montecarlo":
+		if *faultProfile != "" {
+			return errors.New("fleet: -fault-profile applies to characterize and tune campaigns")
+		}
+		camp = atm.MonteCarloCampaign(*n, *start)
+	case "characterize":
+		camp = atm.CharacterizeCampaign(*n, *start, *trials, *faultProfile, *faultSeed)
+	case "tune":
+		camp = atm.TuneCampaign(*n, *start, *rollback, *faultProfile, *faultSeed)
+	default:
+		return fmt.Errorf("fleet: unknown kind %q", *kind)
+	}
+
+	reg, tr := attach(nil)
+	res, err := atm.RunCampaign(camp, atm.FleetOptions{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+		Resume:   *resume,
+		Obs:      reg,
+		Trace:    tr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// Provenance goes to stderr: stdout carries only the canonical
+	// merged view, so it byte-matches across worker counts, cache
+	// hits, and resumed runs.
+	fmt.Fprintf(os.Stderr, "fleet: campaign %s: %d job(s), %d cached, %d failed\n",
+		camp.Name, len(res.Results), res.CachedCount(), len(res.Failed()))
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := renderFleet(camp, res); err != nil {
+		return err
+	}
+	if failed := res.Failed(); len(failed) > 0 {
+		return fmt.Errorf("fleet: %d job(s) failed: %v", len(failed), failed)
+	}
+	return nil
+}
+
+// renderFleet prints one row per job, with kind-specific columns.
+func renderFleet(camp *atm.FleetCampaign, res *atm.FleetResult) error {
+	t := &report.Table{Title: fmt.Sprintf("Fleet campaign %s", camp.Name)}
+	switch camp.Jobs[0].Kind {
+	case atm.FleetMonteCarlo:
+		t.Header = []string{"seed", "idle-limit spread", "speed differential (MHz)", "max idle freq (MHz)"}
+		for _, r := range res.Results {
+			if r.Err != "" {
+				t.AddRow(r.JobID, "failed", r.Err, "")
+				continue
+			}
+			d, err := r.MonteCarlo()
+			if err != nil {
+				return err
+			}
+			t.AddRow(fmt.Sprintf("%d", d.SiliconSeed),
+				fmt.Sprintf("%d–%d", d.IdleLimitLo, d.IdleLimitHi),
+				report.F(d.SpeedDiffMHz, 0), report.F(d.MaxIdleFreqMHz, 0))
+		}
+	case atm.FleetTune:
+		t.Header = []string{"seed", "speed differential (MHz)", "min reduction", "max reduction", "quarantined"}
+		for _, r := range res.Results {
+			if r.Err != "" {
+				t.AddRow(r.JobID, "failed", r.Err, "", "")
+				continue
+			}
+			d, err := r.Tune()
+			if err != nil {
+				return err
+			}
+			lo, hi, quarantined := 1<<30, 0, 0
+			for _, cfg := range d.Configs {
+				if cfg.Reduction < lo {
+					lo = cfg.Reduction
+				}
+				if cfg.Reduction > hi {
+					hi = cfg.Reduction
+				}
+				if cfg.Quarantined {
+					quarantined++
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", d.SiliconSeed), report.F(d.SpeedDiffMHz, 0),
+				fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), fmt.Sprintf("%d", quarantined))
+		}
+	case atm.FleetCharacterize:
+		t.Header = []string{"seed", "idle limits", "thread-worst limits", "quarantined"}
+		for _, r := range res.Results {
+			if r.Err != "" {
+				t.AddRow(r.JobID, "failed", r.Err, "")
+				continue
+			}
+			d, err := r.Characterize()
+			if err != nil {
+				return err
+			}
+			idleLo, idleHi, worstLo, worstHi, quarantined := 1<<30, 0, 1<<30, 0, 0
+			for _, row := range d.Rows {
+				if row.Quarantined {
+					quarantined++
+					continue
+				}
+				if row.Idle < idleLo {
+					idleLo = row.Idle
+				}
+				if row.Idle > idleHi {
+					idleHi = row.Idle
+				}
+				if row.Worst < worstLo {
+					worstLo = row.Worst
+				}
+				if row.Worst > worstHi {
+					worstHi = row.Worst
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", d.SiliconSeed),
+				fmt.Sprintf("%d–%d", idleLo, idleHi),
+				fmt.Sprintf("%d–%d", worstLo, worstHi),
+				fmt.Sprintf("%d", quarantined))
+		}
 	}
 	return t.Render(os.Stdout)
 }

@@ -8,6 +8,9 @@
 //	atmfigures -csv            # CSV output
 //	atmfigures -list           # list artifact IDs
 //	atmfigures -generated 42   # run on Monte-Carlo silicon (seed 42)
+//	atmfigures -workers 8      # fleet worker pool for the Monte-Carlo
+//	                           # extension study (output is identical
+//	                           # for every worker count)
 package main
 
 import (
@@ -26,10 +29,11 @@ func main() {
 		list      = flag.Bool("list", false, "list artifact IDs and exit")
 		generated = flag.Uint64("generated", 0, "run on generated silicon with this seed instead of the paper-calibrated reference")
 		ext       = flag.Bool("ext", false, "also regenerate the extension studies (undervolt, Monte-Carlo, ablations)")
+		workers   = flag.Int("workers", 0, "fleet workers for the Monte-Carlo population study (0 = default; any value emits identical bytes)")
 	)
 	flag.Parse()
 
-	opts := atm.SuiteOptions{}
+	opts := atm.SuiteOptions{FleetWorkers: *workers}
 	if *generated != 0 {
 		profile, err := atm.GenerateSilicon(*generated, atm.GenerateOptions{})
 		if err != nil {

@@ -33,6 +33,11 @@ type SuiteOptions struct {
 	// QoSTarget is the balanced-mode improvement goal (default 0.10,
 	// the paper's 10%).
 	QoSTarget float64
+	// FleetWorkers bounds the worker pool the fleet-backed extension
+	// studies (ext-montecarlo) fan out on. Every value produces
+	// byte-identical artifacts; it only changes wall-clock time.
+	// Default 4.
+	FleetWorkers int
 }
 
 // Suite is the materialized pipeline: machine, characterization report,
@@ -54,6 +59,9 @@ func NewSuite(opts SuiteOptions) (*Suite, error) {
 	}
 	if opts.QoSTarget == 0 {
 		opts.QoSTarget = 0.10
+	}
+	if opts.FleetWorkers == 0 {
+		opts.FleetWorkers = 4
 	}
 	m, err := chip.New(opts.Profile, chip.Options{})
 	if err != nil {

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCampaign is the workload both benchmarks run: a Monte-Carlo
+// population study over benchN generated chips, the same shape
+// cmd/atmfigures' ext-montecarlo study fans out.
+const benchN = 8
+
+func benchmarkMonteCarlo(b *testing.B, workers int) {
+	c := MonteCarlo(benchN, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(c, Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(res.Failed()); n != 0 {
+			b.Fatalf("%d job(s) failed", n)
+		}
+	}
+}
+
+// BenchmarkMonteCarloSequential is the workers=1 baseline.
+func BenchmarkMonteCarloSequential(b *testing.B) { benchmarkMonteCarlo(b, 1) }
+
+// BenchmarkMonteCarloWorkers8 fans the same campaign across 8 workers.
+// On a multi-core host wall-clock time drops roughly linearly in
+// min(workers, cores, jobs); the merged bytes are identical either way
+// (see determinism_test.go).
+func BenchmarkMonteCarloWorkers8(b *testing.B) { benchmarkMonteCarlo(b, 8) }
+
+// BenchmarkMonteCarloCached measures the cache-served path: every job
+// is a content-addressed hit, so the run cost is hash + decode + merge.
+func BenchmarkMonteCarloCached(b *testing.B) {
+	dir := b.TempDir()
+	c := MonteCarlo(benchN, 1)
+	if _, err := Run(c, Options{Workers: 4, CacheDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(c, Options{Workers: 4, CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CachedCount() != benchN {
+			b.Fatalf("expected %d cached jobs, got %d", benchN, res.CachedCount())
+		}
+	}
+}
+
+// BenchmarkJobHash isolates the content-addressing cost.
+func BenchmarkJobHash(b *testing.B) {
+	jobs := MonteCarlo(benchN, 1).Jobs
+	b.ReportAllocs()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		sink = jobs[i%len(jobs)].Hash()
+	}
+	_ = sink
+}
+
+func init() {
+	// Guard against the benchmark campaign silently validating away.
+	if err := MonteCarlo(benchN, 1).Validate(); err != nil {
+		panic(fmt.Sprintf("fleet: benchmark campaign invalid: %v", err))
+	}
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The on-disk cache has two parts:
+//
+//   - Content-addressed results: <dir>/<jobhash>.json holds one
+//     completed job's payload inside an envelope that repeats the hash
+//     and spec identity, so a corrupted or foreign entry is detected
+//     and treated as a miss (the job simply re-runs).
+//   - A checkpoint manifest: <dir>/campaign-<hash12>.json records the
+//     campaign identity and the sorted completed-job set, rewritten
+//     atomically (temp file + rename) after every completion, so a
+//     killed campaign restarts from wherever it got to.
+//
+// Entries are keyed by the job's content hash, not its campaign, so
+// overlapping campaigns sharing a cache directory reuse each other's
+// completed work.
+
+// cacheEntry is the envelope around one stored payload.
+type cacheEntry struct {
+	Version string          `json:"version"`
+	JobHash string          `json:"job_hash"`
+	JobID   string          `json:"job_id"`
+	Kind    Kind            `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// manifest is the campaign checkpoint.
+type manifest struct {
+	Version      string `json:"version"`
+	Name         string `json:"name"`
+	CampaignHash string `json:"campaign_hash"`
+	// Completed is the sorted set of completed job IDs.
+	Completed []string `json:"completed"`
+}
+
+// diskCache serializes access to one cache directory for one campaign.
+type diskCache struct {
+	dir          string
+	mu           sync.Mutex
+	manifestPath string
+	man          manifest
+}
+
+// openCache prepares dir for the campaign: creates it, and loads or
+// resets the campaign's checkpoint manifest.
+func openCache(dir string, c *Campaign, resume bool) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: cache dir: %w", err)
+	}
+	hash := c.Hash()
+	dc := &diskCache{
+		dir:          dir,
+		manifestPath: filepath.Join(dir, "campaign-"+hash[:12]+".json"),
+		man:          manifest{Version: specVersion, Name: c.Name, CampaignHash: hash},
+	}
+	raw, err := os.ReadFile(dc.manifestPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh start — resuming from nothing is still a valid resume.
+	case err != nil:
+		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+	case resume:
+		var prev manifest
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return nil, fmt.Errorf("fleet: corrupt checkpoint %s: %w", dc.manifestPath, err)
+		}
+		if prev.CampaignHash != hash {
+			return nil, fmt.Errorf("fleet: checkpoint %s belongs to a different campaign", dc.manifestPath)
+		}
+		sort.Strings(prev.Completed)
+		dc.man = prev
+	default:
+		// Not resuming: start a fresh progress record. The
+		// content-addressed entries stay valid and still serve hits.
+	}
+	return dc, nil
+}
+
+// lookup returns the cached payload for a job, if a valid entry
+// exists. Any mismatch — unreadable file, foreign envelope, version
+// drift — is a miss, never an error: the job just re-runs.
+func (dc *diskCache) lookup(j Job) (json.RawMessage, bool) {
+	raw, err := os.ReadFile(dc.entryPath(j))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != specVersion || e.JobHash != j.Hash() || e.JobID != j.ID || e.Kind != j.Kind {
+		return nil, false
+	}
+	if len(e.Payload) == 0 {
+		return nil, false
+	}
+	return e.Payload, true
+}
+
+// store persists one completed job's payload and checkpoints the
+// campaign manifest. Called concurrently by workers.
+func (dc *diskCache) store(j Job, payload json.RawMessage) error {
+	entry, err := json.Marshal(cacheEntry{
+		Version: specVersion,
+		JobHash: j.Hash(),
+		JobID:   j.ID,
+		Kind:    j.Kind,
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if err := writeAtomic(dc.entryPath(j), append(entry, '\n')); err != nil {
+		return fmt.Errorf("fleet: cache store %s: %w", j.ID, err)
+	}
+	dc.man.Completed = insertSorted(dc.man.Completed, j.ID)
+	man, err := json.Marshal(dc.man)
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(dc.manifestPath, append(man, '\n')); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// markCompleted checkpoints a job that was served from the cache, so
+// the manifest reflects full campaign progress even when no new entry
+// was written.
+func (dc *diskCache) markCompleted(j Job) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	dc.man.Completed = insertSorted(dc.man.Completed, j.ID)
+	man, err := json.Marshal(dc.man)
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(dc.manifestPath, append(man, '\n')); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (dc *diskCache) entryPath(j Job) string {
+	return filepath.Join(dc.dir, j.Hash()+".json")
+}
+
+// writeAtomic writes data via a temp file and rename, so a kill mid-
+// write never leaves a torn entry or checkpoint behind.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// Best effort: don't leave the temp file behind on failure.
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// insertSorted adds id to the sorted set, keeping order and uniqueness.
+func insertSorted(set []string, id string) []string {
+	i := sort.SearchStrings(set, id)
+	if i < len(set) && set[i] == id {
+		return set
+	}
+	set = append(set, "")
+	copy(set[i+1:], set[i:])
+	set[i] = id
+	return set
+}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/silicon"
+	"repro/internal/tuning"
+)
+
+// This file runs the job kinds and defines their payload schemas. A
+// payload is a fixed-field-order JSON document derived only from the
+// job spec, so identical specs always serialize to identical bytes —
+// the property the content-addressed cache and the worker-count
+// invariance both rest on. The inner stages run with a nil obs
+// registry/tracer: per-trial instrumentation from concurrent jobs
+// would interleave nondeterministically, so the fleet exposes its own
+// campaign-level metrics instead.
+
+// MonteCarloResult is one ext-montecarlo population draw: manufacture
+// a server, deploy it, and record the variation the paper measures on
+// its two chips.
+type MonteCarloResult struct {
+	SiliconSeed uint64 `json:"silicon_seed"`
+	// IdleLimitLo/Hi span the per-core deterministic idle limits — the
+	// manufactured spread fine-tuning exposes.
+	IdleLimitLo int `json:"idle_limit_lo"`
+	IdleLimitHi int `json:"idle_limit_hi"`
+	// SpeedDiffMHz is the deployed fastest-to-slowest idle frequency
+	// gap (the paper's >200 MHz differential).
+	SpeedDiffMHz float64 `json:"speed_diff_mhz"`
+	// MaxIdleFreqMHz is the fastest deployed core's idle frequency;
+	// consumers derive the gain over any static baseline from it.
+	MaxIdleFreqMHz float64 `json:"max_idle_freq_mhz"`
+}
+
+// TuneConfig is one core's row of a tune payload.
+type TuneConfig struct {
+	Core          string  `json:"core"`
+	StressLimit   int     `json:"stress_limit"`
+	Reduction     int     `json:"reduction"`
+	IdleFreqMHz   float64 `json:"idle_freq_mhz"`
+	LoadedFreqMHz float64 `json:"loaded_freq_mhz"`
+	Quarantined   bool    `json:"quarantined,omitempty"`
+}
+
+// TuneResult is a tune job's payload.
+type TuneResult struct {
+	SiliconSeed  uint64       `json:"silicon_seed"`
+	Configs      []TuneConfig `json:"configs"`
+	SpeedDiffMHz float64      `json:"speed_diff_mhz"`
+}
+
+// CharactRow is one core's Table I line of a characterize payload.
+type CharactRow struct {
+	Core        string  `json:"core"`
+	Idle        int     `json:"idle"`
+	UBench      int     `json:"ubench"`
+	Normal      int     `json:"normal"`
+	Worst       int     `json:"worst"`
+	IdleFreqMHz float64 `json:"idle_freq_mhz"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+}
+
+// CharacterizeResult is a characterize job's payload.
+type CharacterizeResult struct {
+	SiliconSeed uint64       `json:"silicon_seed"`
+	Rows        []CharactRow `json:"rows"`
+}
+
+// MonteCarlo decodes a montecarlo result payload.
+func (r Result) MonteCarlo() (MonteCarloResult, error) {
+	var out MonteCarloResult
+	if err := r.decode(KindMonteCarlo, &out); err != nil {
+		return MonteCarloResult{}, err
+	}
+	return out, nil
+}
+
+// Tune decodes a tune result payload.
+func (r Result) Tune() (TuneResult, error) {
+	var out TuneResult
+	if err := r.decode(KindTune, &out); err != nil {
+		return TuneResult{}, err
+	}
+	return out, nil
+}
+
+// Characterize decodes a characterize result payload.
+func (r Result) Characterize() (CharacterizeResult, error) {
+	var out CharacterizeResult
+	if err := r.decode(KindCharacterize, &out); err != nil {
+		return CharacterizeResult{}, err
+	}
+	return out, nil
+}
+
+func (r Result) decode(want Kind, into any) error {
+	if r.Kind != want {
+		return fmt.Errorf("fleet: job %s is %q, not %q", r.JobID, r.Kind, want)
+	}
+	if r.Err != "" {
+		return fmt.Errorf("fleet: job %s failed: %s", r.JobID, r.Err)
+	}
+	return json.Unmarshal(r.Payload, into)
+}
+
+// runJob executes one job spec from scratch: its own profile, machine,
+// fault injector and RNG streams, nothing shared with other workers.
+func runJob(j Job) (json.RawMessage, error) {
+	m, profile, err := buildMachine(j)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := armFaults(j, m); err != nil {
+		return nil, err
+	}
+	var payload any
+	switch j.Kind {
+	case KindMonteCarlo:
+		payload, err = runMonteCarlo(j, m, profile)
+	case KindTune:
+		payload, err = runTune(j, m)
+	case KindCharacterize:
+		payload, err = runCharacterize(j, m)
+	default:
+		err = fmt.Errorf("fleet: job %s: unknown kind %q", j.ID, j.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("job %s: %w", j.ID, err)
+	}
+	return json.Marshal(payload)
+}
+
+// buildMachine materializes the job's server.
+func buildMachine(j Job) (*chip.Machine, *silicon.ServerProfile, error) {
+	profile := silicon.Reference()
+	if j.SiliconSeed != 0 {
+		var err error
+		profile, err = silicon.Generate(j.SiliconSeed, silicon.GenerateOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := chip.New(profile, chip.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, profile, nil
+}
+
+// armFaults installs the job's fault profile, if any.
+func armFaults(j Job, m *chip.Machine) (*fault.Injector, error) {
+	if j.FaultProfile == "" {
+		return nil, nil
+	}
+	p, err := fault.ParseProfile(j.FaultProfile)
+	if err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	seed := j.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := fault.New(p, seed)
+	inj.ArmMachine(m)
+	return inj, nil
+}
+
+// runMonteCarlo reproduces one ext-montecarlo draw: deploy the
+// manufactured server and record its variation statistics.
+func runMonteCarlo(j Job, m *chip.Machine, profile *silicon.ServerProfile) (MonteCarloResult, error) {
+	dep, err := tuning.Deploy(m, tuning.Options{Seed: j.Seed, Rollback: j.Rollback})
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	lo, hi := 1<<30, 0
+	for _, c := range profile.AllCores() {
+		l := c.DeterministicLimit(0)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	var fMax float64
+	for _, cfg := range dep.Configs {
+		if f := float64(cfg.IdleFreq); f > fMax {
+			fMax = f
+		}
+	}
+	return MonteCarloResult{
+		SiliconSeed:    j.SiliconSeed,
+		IdleLimitLo:    lo,
+		IdleLimitHi:    hi,
+		SpeedDiffMHz:   dep.SpeedDifferentialMHz(),
+		MaxIdleFreqMHz: fMax,
+	}, nil
+}
+
+// runTune deploys the server and records the per-core configuration.
+func runTune(j Job, m *chip.Machine) (TuneResult, error) {
+	dep, err := tuning.Deploy(m, tuning.Options{Seed: j.Seed, Rollback: j.Rollback})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	out := TuneResult{SiliconSeed: j.SiliconSeed, SpeedDiffMHz: dep.SpeedDifferentialMHz()}
+	for _, cfg := range dep.Configs {
+		out.Configs = append(out.Configs, TuneConfig{
+			Core:          cfg.Core,
+			StressLimit:   cfg.StressLimit,
+			Reduction:     cfg.Reduction,
+			IdleFreqMHz:   float64(cfg.IdleFreq),
+			LoadedFreqMHz: float64(cfg.LoadedFreq),
+			Quarantined:   cfg.Quarantined,
+		})
+	}
+	return out, nil
+}
+
+// runCharacterize runs the methodology and records the Table I rows.
+func runCharacterize(j Job, m *chip.Machine) (CharacterizeResult, error) {
+	rep, err := charact.Characterize(m, charact.Options{Trials: j.Trials, Seed: j.Seed})
+	if err != nil {
+		return CharacterizeResult{}, err
+	}
+	out := CharacterizeResult{SiliconSeed: j.SiliconSeed}
+	for _, row := range rep.TableI() {
+		var idleFreq float64
+		if c, ok := rep.Core(row.Core); ok {
+			idleFreq = float64(c.IdleFreq)
+		}
+		out.Rows = append(out.Rows, CharactRow{
+			Core:        row.Core,
+			Idle:        row.Idle,
+			UBench:      row.UBench,
+			Normal:      row.Normal,
+			Worst:       row.Worst,
+			IdleFreqMHz: idleFreq,
+			Quarantined: row.Quarantined,
+		})
+	}
+	return out, nil
+}

@@ -180,6 +180,7 @@ func DefaultConfig() *Config {
 			"repro/internal/workload",
 			"repro/internal/thermal",
 			"repro/internal/obs",
+			"repro/internal/fleet",
 		},
 		ErrPackages: []string{
 			"repro/cmd/",
