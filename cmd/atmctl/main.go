@@ -445,6 +445,10 @@ func cmdFleet(args []string) error {
 	faultSeed := fs.Uint64("fault-seed", 1, "base fault seed the per-job streams split from")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache + checkpoint manifest directory")
 	resume := fs.Bool("resume", false, "continue a killed campaign from its checkpoint in -cache-dir")
+	panicRetries := fs.Int("panic-retries", 0,
+		"re-attempts before a panicking job is quarantined as poisoned (0 = default 1, negative = none)")
+	trialBudget := fs.Int64("trial-budget", 0,
+		"watchdog: per-job trial budget before the job is failed as stuck (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the merged campaign result as JSON instead of a table")
 	attach, flush := obsFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -468,11 +472,13 @@ func cmdFleet(args []string) error {
 
 	reg, tr := attach(nil)
 	res, err := atm.RunCampaign(camp, atm.FleetOptions{
-		Workers:  *workers,
-		CacheDir: *cacheDir,
-		Resume:   *resume,
-		Obs:      reg,
-		Trace:    tr,
+		Workers:      *workers,
+		CacheDir:     *cacheDir,
+		Resume:       *resume,
+		PanicRetries: *panicRetries,
+		TrialBudget:  *trialBudget,
+		Obs:          reg,
+		Trace:        tr,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,12 @@ import (
 func main() {
 	seed := flag.Uint64("generated", 0, "use Monte-Carlo silicon with this seed (0 = paper reference)")
 	listen := flag.String("listen", "", "serve the protocol on this TCP address instead of stdio")
+	maxSessions := flag.Int("max-sessions", 0,
+		"bound concurrently served sessions; surplus connections get an in-band 'err busy' (0 = unbounded)")
+	acceptBurst := flag.Int64("accept-burst", 0,
+		"token-bucket burst capacity on session admission; storms beyond it are shed in-band (0 = disabled)")
+	garbage := flag.Int("garbage-threshold", 0,
+		"consecutive protocol-garbage lines before a session's circuit breaker trips open (0 = disabled)")
 	flag.Parse()
 
 	var m *atm.Machine
@@ -55,6 +61,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atmfsp: serving on", l.Addr())
 		srv := fsp.NewServer(ctl)
 		srv.Observe(reg)
+		srv.Guard(fsp.GuardOptions{
+			MaxSessions:      *maxSessions,
+			AcceptCapacity:   *acceptBurst,
+			GarbageThreshold: *garbage,
+		})
 		if err := srv.Serve(l); err != nil {
 			fatal(err)
 		}

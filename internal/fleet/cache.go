@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/guard"
 )
 
 // The on-disk cache has two parts:
@@ -122,9 +124,17 @@ func (dc *diskCache) store(j Job, payload json.RawMessage) error {
 	}
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
+	// The three crash points bracket the dangerous windows of the
+	// checkpoint protocol; the kill-matrix CI job dies at each one and
+	// proves a -resume run still merges byte-identical output. The
+	// middle window (entry durable, manifest stale) is the interesting
+	// one: resume must treat the manifest as authoritative-but-lagging
+	// and let the content cache serve the orphaned entry.
+	guard.CrashPoint("fleet/pre-entry")
 	if err := writeAtomic(dc.entryPath(j), append(entry, '\n')); err != nil {
 		return fmt.Errorf("fleet: cache store %s: %w", j.ID, err)
 	}
+	guard.CrashPoint("fleet/post-entry")
 	dc.man.Completed = insertSorted(dc.man.Completed, j.ID)
 	man, err := json.Marshal(dc.man)
 	if err != nil {
@@ -133,6 +143,7 @@ func (dc *diskCache) store(j Job, payload json.RawMessage) error {
 	if err := writeAtomic(dc.manifestPath, append(man, '\n')); err != nil {
 		return fmt.Errorf("fleet: checkpoint: %w", err)
 	}
+	guard.CrashPoint("fleet/post-manifest")
 	return nil
 }
 
@@ -157,16 +168,51 @@ func (dc *diskCache) entryPath(j Job) string {
 	return filepath.Join(dc.dir, j.Hash()+".json")
 }
 
-// writeAtomic writes data via a temp file and rename, so a kill mid-
-// write never leaves a torn entry or checkpoint behind.
+// writeAtomic writes data via a temp file, fsync, rename, and a
+// parent-directory fsync. The rename alone makes a kill mid-write
+// atomic (no torn file), but not durable: after a power-loss-style
+// kill the directory entry can survive while the data blocks were
+// never flushed, surfacing an empty or truncated manifest. Syncing the
+// file before the rename and the directory after it closes both holes.
 func writeAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		// Best effort: don't leave the temp file behind on failure.
 		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename is durable across a
+// kill. Platforms that cannot sync a directory handle (the error shows
+// up as EINVAL/EBADF on some filesystems) degrade to the plain rename
+// guarantee rather than failing the store.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
 		return err
 	}
 	return nil

@@ -247,6 +247,15 @@ type Options struct {
 	// Without Resume a fresh manifest replaces any previous one (the
 	// per-job content cache still serves hits either way).
 	Resume bool
+	// PanicRetries bounds how many times a panicking job is retried
+	// before it is quarantined as a poison job (recorded failed in the
+	// merged results; the pool keeps running). 0 selects the default of
+	// one retry; negative disables retries.
+	PanicRetries int
+	// TrialBudget, when positive, arms a per-job watchdog on the trial
+	// axis: a job that consumes more than this many retry-wrapped
+	// trials is deadlined with a deterministic failure. 0 is unlimited.
+	TrialBudget int64
 	// Obs, when non-nil, collects fleet counters (dispatched,
 	// completed, cached, failed), the worker-occupancy gauge, and the
 	// configured-pool histogram. Nil disables collection.
@@ -289,6 +298,11 @@ func Run(c *Campaign, o Options) (*CampaignResult, error) {
 		cachedHits = o.Obs.Counter("fleet_jobs_cached_total")
 		failed     = o.Obs.Counter("fleet_jobs_failed_total")
 		occupancy  = o.Obs.Gauge("fleet_worker_occupancy")
+		guards     = jobGuards{
+			panics:   o.Obs.Counter("fleet_job_panics_total"),
+			poisoned: o.Obs.Counter("fleet_jobs_poisoned_total"),
+			deadline: o.Obs.Counter("fleet_watchdog_expired_total"),
+		}
 	)
 
 	results := make([]Result, len(c.Jobs))
@@ -325,7 +339,7 @@ func Run(c *Campaign, o Options) (*CampaignResult, error) {
 				job := c.Jobs[i]
 				dispatched.Inc()
 				occupancy.Add(1)
-				payload, err := runJob(job)
+				payload, err := runGuarded(job, o, guards)
 				occupancy.Add(-1)
 				if err != nil {
 					failed.Inc()

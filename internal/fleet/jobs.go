@@ -7,6 +7,7 @@ import (
 	"repro/internal/charact"
 	"repro/internal/chip"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/silicon"
 	"repro/internal/tuning"
 )
@@ -109,14 +110,30 @@ func (r Result) decode(want Kind, into any) error {
 }
 
 // runJob executes one job spec from scratch: its own profile, machine,
-// fault injector and RNG streams, nothing shared with other workers.
-func runJob(j Job) (json.RawMessage, error) {
+// fault injector and RNG streams, nothing shared with other workers. A
+// positive trialBudget arms a watchdog on the trial axis: the job is
+// deadlined (via the trialDeadline sentinel panic, recovered by
+// runGuarded) once it has consumed that many retry-wrapped trials.
+func runJob(j Job, trialBudget int64) (json.RawMessage, error) {
+	if testJobPanic != nil {
+		testJobPanic(j)
+	}
 	m, profile, err := buildMachine(j)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := armFaults(j, m); err != nil {
 		return nil, err
+	}
+	if wd := guard.NewWatchdog(guard.WatchdogOptions{Budget: trialBudget}); wd != nil {
+		// The observer slot is free here: the inner stages only install
+		// their own taps when run with a non-nil obs registry, and the
+		// fleet always runs them bare (see the package comment above).
+		m.SetTrialObserver(func(string, string, int, chip.TrialResult, error) {
+			if wd.Tick(1) != nil {
+				panic(trialDeadline{budget: trialBudget})
+			}
+		})
 	}
 	var payload any
 	switch j.Kind {

@@ -82,8 +82,15 @@ type ClientOptions struct {
 	// outranks thundering-herd etiquette on a one-operator link.
 	Backoff func(attempt int) time.Duration
 	// Sleep consumes the backoff pauses. The default records the total
-	// in Stats without sleeping (simulated time).
-	Sleep func(time.Duration)
+	// in Stats without sleeping (simulated time). A real implementation
+	// must honor cancel and return early when it fires — RealSleep does.
+	Sleep func(d time.Duration, cancel <-chan struct{})
+	// Cancel, when non-nil, aborts the retry loop: a close of the
+	// channel makes Exec return ErrCanceled at the next backoff (a
+	// shutting-down caller is never stuck sleeping out a backoff
+	// schedule). It does not interrupt an in-flight read — the
+	// per-command Timeout already bounds those.
+	Cancel <-chan struct{}
 	// ResyncWindow is how many stale lines a re-sync may discard while
 	// hunting for its pong before the attempt is abandoned. Default 32.
 	ResyncWindow int
@@ -138,8 +145,31 @@ func (e *CmdError) Error() string { return fmt.Sprintf("fsp: %q: %s", e.Cmd, e.M
 // (a telemetry read upset rather than a rejected command).
 func (e *CmdError) Transient() bool { return strings.HasPrefix(e.Msg, "transient") }
 
+// Busy reports whether the server shed the command under overload
+// ("err busy ..." — admission control or an open session breaker).
+// Busy errors are retried with backoff like transport faults: by the
+// time the schedule has backed off, the server has usually recovered
+// headroom or walked its breaker to half-open.
+func (e *CmdError) Busy() bool { return strings.HasPrefix(e.Msg, "busy") }
+
 // ErrExhausted wraps the last failure after the retry budget is spent.
 var ErrExhausted = errors.New("retry budget exhausted")
+
+// ErrCanceled reports that the caller's Cancel channel fired during
+// the retry loop. It is distinct from ErrExhausted: the command was
+// abandoned by choice, not defeated by the transport.
+var ErrCanceled = errors.New("canceled")
+
+// RealSleep is a Sleep implementation for real test-floor links: it
+// sleeps in wall time but returns as soon as cancel fires.
+func RealSleep(d time.Duration, cancel <-chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-cancel:
+	}
+}
 
 // NewClient wraps a transport. The transport is used from one goroutine
 // at a time.
@@ -252,10 +282,8 @@ func (c *Client) Exec(cmd string) (string, error) {
 		if attempt > 0 {
 			c.st.Retries++
 			c.ob.retries.Inc()
-			d := c.opt.Backoff(attempt)
-			c.st.Backoff += d
-			if c.opt.Sleep != nil {
-				c.opt.Sleep(d)
+			if err := c.pause(attempt); err != nil {
+				return "", fmt.Errorf("fsp: %q: %w", cmd, err)
 			}
 			if err := c.resync(); err != nil {
 				lastErr = err
@@ -280,7 +308,7 @@ func (c *Client) Exec(cmd string) (string, error) {
 		}
 		if resp.isErr {
 			cerr := &CmdError{Cmd: cmd, Msg: resp.payload}
-			if cerr.Transient() {
+			if cerr.Transient() || cerr.Busy() {
 				lastErr = cerr
 				continue
 			}
@@ -294,6 +322,28 @@ func (c *Client) Exec(cmd string) (string, error) {
 	c.ob.attempts.Observe(float64(c.opt.Retries + 1))
 	return "", fmt.Errorf("fsp: %q failed after %d attempts: %w: %w",
 		cmd, c.opt.Retries+1, ErrExhausted, lastErr)
+}
+
+// pause consumes one backoff step, honoring cancellation both before
+// and after the sleep so a shutting-down caller escapes promptly even
+// when the Sleep hook ignores the cancel channel.
+func (c *Client) pause(attempt int) error {
+	select {
+	case <-c.opt.Cancel:
+		return ErrCanceled
+	default:
+	}
+	d := c.opt.Backoff(attempt)
+	c.st.Backoff += d
+	if c.opt.Sleep != nil {
+		c.opt.Sleep(d, c.opt.Cancel)
+	}
+	select {
+	case <-c.opt.Cancel:
+		return ErrCanceled
+	default:
+	}
+	return nil
 }
 
 // Ping verifies liveness end to end.

@@ -2,10 +2,12 @@ package fsp
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -40,6 +42,14 @@ type Server struct {
 	// connections. Set via Observe before Serve.
 	reg   *obs.Registry
 	connc *obs.Counter
+
+	// The guard plane (see guard.go). All handles are nil until Guard
+	// is called, and every use is nil-safe — the disabled default
+	// admits everything at ~zero cost.
+	guardOpt GuardOptions
+	gate     *guard.Gate
+	bucket   *guard.Bucket
+	shedC    *obs.Counter
 
 	wg      sync.WaitGroup
 	stateMu sync.Mutex // guards closing/listener/conns against Serve↔Close races
@@ -120,10 +130,27 @@ func (s *Server) Serve(l net.Listener) error {
 // against the shared controller.
 func (s *Server) serveConn(conn net.Conn) {
 	s.connc.Inc()
+	// Admission control: the token bucket absorbs connection storms,
+	// the gate bounds concurrently served sessions. A shed connection
+	// gets one in-band "err busy" line — the client's retryable busy
+	// convention — and is closed by the caller's deferred Close, so
+	// overload never hangs a peer and never leaks a session goroutine.
+	if !s.bucket.Allow() {
+		s.shed(conn)
+		return
+	}
+	if !s.gate.TryAcquire() {
+		s.shed(conn)
+		return
+	}
+	defer s.gate.Release()
 	sess := NewSession(s.ctl)
 	if s.reg != nil {
 		sess.Observe(s.reg)
 	}
+	brk := s.sessionBreaker()
+	sess.breaker = brk
+	sess.health = func() string { return s.healthLine(brk) }
 	locked := &lockedSession{sess: sess, mu: &s.mu}
 	var rw net.Conn = conn
 	if s.IdleTimeout > 0 {
@@ -131,6 +158,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	//lint:ignore errdrop a serve error is a client that hung up or idled out mid-session — normal connection lifecycle, not a server fault
 	_ = locked.serve(rw)
+}
+
+// shed refuses a connection in-band.
+func (s *Server) shed(conn net.Conn) {
+	s.shedC.Inc()
+	//lint:ignore errdrop shed notification is best-effort: the refused peer may already be gone, and there is no session to report into
+	fmt.Fprintln(conn, "err busy")
 }
 
 // idleConn re-arms a read deadline before every read, so the effective

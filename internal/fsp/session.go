@@ -2,12 +2,14 @@ package fsp
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -28,10 +30,23 @@ import (
 //	cores                             list core labels
 //	ping <token>                      echo (client liveness / re-sync)
 //	stats                             read-only metrics snapshot (JSON)
+//	health                            read-only guard-plane state (JSON)
 //	quit                              end the session
 type Session struct {
 	ctl *Controller
 	ob  sessionObs
+
+	// breaker, when non-nil, is the session's garbage circuit breaker:
+	// repeated protocol garbage (empty lines, unknown verbs) trips it,
+	// and while open every command is answered "err busy breaker open"
+	// — the client's retryable busy convention. The network server
+	// arms it per connection (Server.Guard); the nil default never
+	// trips.
+	breaker *guard.Breaker
+	// health, when non-nil, renders the "health" verb's document. The
+	// network server wires it to the server-wide view; a standalone
+	// session reports only its own breaker.
+	health func() string
 }
 
 // sessionObs is the session's pre-resolved metric handle set plus the
@@ -48,7 +63,19 @@ type sessionObs struct {
 // handled by the serve loop and never reaches Exec).
 var sessionVerbs = []string{
 	"getscom", "putscom", "cpm", "mode", "pstate", "gate",
-	"freq", "chip", "cores", "ping", "stats",
+	"freq", "chip", "cores", "ping", "stats", "health",
+}
+
+// isKnownVerb reports whether cmd is part of the protocol. The check
+// is independent of the metrics plane (s.ob.verbs exists only when a
+// registry is attached) because the garbage breaker needs it always.
+func isKnownVerb(cmd string) bool {
+	for _, v := range sessionVerbs {
+		if v == cmd {
+			return true
+		}
+	}
+	return false
 }
 
 // Observe resolves per-verb command counters and an in-band error
@@ -159,6 +186,7 @@ func (s *Session) Exec(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		s.ob.errs.Inc()
+		s.breaker.Failure()
 		return "err empty command"
 	}
 	cmd, args := fields[0], fields[1:]
@@ -167,7 +195,30 @@ func (s *Session) Exec(line string) string {
 	} else {
 		s.ob.unknown.Inc()
 	}
+	if cmd == "health" {
+		// Diagnostics bypass the breaker: an operator must be able to
+		// read the guard plane exactly when the session is being shed.
+		if len(args) != 0 {
+			s.ob.errs.Inc()
+			return "err usage: health"
+		}
+		return "ok " + s.healthDoc()
+	}
+	if !s.breaker.Allow() {
+		s.ob.errs.Inc()
+		return "err busy breaker open"
+	}
+	known := isKnownVerb(cmd)
 	out, err := s.dispatch(cmd, args)
+	// The breaker tracks protocol garbage, not command outcomes: an
+	// unknown verb is a peer speaking the wrong protocol and counts as
+	// a failure; a well-formed command that errs (bad core label, SCOM
+	// fault) is healthy protocol and resets the garbage streak.
+	if known {
+		s.breaker.Success()
+	} else {
+		s.breaker.Failure()
+	}
 	if err != nil {
 		s.ob.errs.Inc()
 		return "err " + err.Error()
@@ -176,6 +227,21 @@ func (s *Session) Exec(line string) string {
 		return "ok"
 	}
 	return "ok " + out
+}
+
+// healthDoc renders the "health" verb's JSON document.
+func (s *Session) healthDoc() string {
+	if s.health != nil {
+		return s.health()
+	}
+	raw, err := json.Marshal(healthReport{
+		Breaker:         s.breaker.State().String(),
+		BreakerRejected: s.breaker.Rejected(),
+	})
+	if err != nil {
+		return "{}"
+	}
+	return string(raw)
 }
 
 func (s *Session) dispatch(cmd string, args []string) (string, error) {

@@ -1,0 +1,125 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBucketBurstAndRefill(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBucket(BucketOptions{Name: "t", Capacity: 3, RefillEvery: 4, Obs: reg})
+
+	// The bucket starts full: the burst is admitted even though each
+	// Allow only advances the event clock one tick.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst request %d shed", i)
+		}
+	}
+	// Dry: with RefillEvery=4, only every 4th attempt earns a token.
+	admitted, shed := 0, 0
+	for i := 0; i < 40; i++ {
+		if b.Allow() {
+			admitted++
+		} else {
+			shed++
+		}
+	}
+	if admitted != 10 {
+		t.Fatalf("sustained admissions = %d over 40 attempts, want 10 (rate 1/4)", admitted)
+	}
+	if got := b.Sheds(); got != int64(shed) {
+		t.Fatalf("Sheds() = %d, want %d", got, shed)
+	}
+}
+
+func TestBucketExternalClock(t *testing.T) {
+	var clock int64
+	b := NewBucket(BucketOptions{Capacity: 2, RefillEvery: 10, Now: func() int64 { return clock }})
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("initial burst shed")
+	}
+	if b.Allow() {
+		t.Fatal("dry bucket admitted with no elapsed time")
+	}
+	clock = 15 // 1 refill period + remainder 5
+	if !b.Allow() {
+		t.Fatal("refilled token shed")
+	}
+	if b.Allow() {
+		t.Fatal("bucket admitted beyond earned tokens")
+	}
+	// The remainder 5 ticks must carry: 5 more ticks completes the
+	// next period.
+	clock = 20
+	if !b.Allow() {
+		t.Fatal("remainder ticks were rounded away")
+	}
+}
+
+func TestBucketFullDoesNotBank(t *testing.T) {
+	var clock int64
+	b := NewBucket(BucketOptions{Capacity: 1, RefillEvery: 10, Now: func() int64 { return clock }})
+	// A long idle period at capacity must not bank future tokens.
+	clock = 1000
+	if !b.Allow() {
+		t.Fatal("full bucket shed")
+	}
+	clock = 1005 // less than one refill period after draining
+	if b.Allow() {
+		t.Fatal("bucket banked tokens while full")
+	}
+}
+
+func TestGateLimitAndRelease(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(GateOptions{Name: "t", Limit: 2, Obs: reg})
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("acquisitions under the limit shed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("gate admitted over the limit")
+	}
+	if got := g.Depth(); got != 2 {
+		t.Fatalf("Depth() = %d, want 2", got)
+	}
+	if got := g.Sheds(); got != 1 {
+		t.Fatalf("Sheds() = %d, want 1", got)
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("gate shed after a release")
+	}
+	// Double release must clamp, not widen admission.
+	g.Release()
+	g.Release()
+	g.Release()
+	g.Release()
+	if got := g.Depth(); got != 0 {
+		t.Fatalf("Depth() after over-release = %d, want 0", got)
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("gate shed under the limit after over-release")
+	}
+	if g.TryAcquire() {
+		t.Fatal("over-release widened the gate limit")
+	}
+}
+
+func TestAdmissionNilSafe(t *testing.T) {
+	var b *Bucket
+	var g *Gate
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("nil bucket shed")
+		}
+		if !g.TryAcquire() {
+			t.Fatal("nil gate shed")
+		}
+	}
+	g.Release()
+	if b.Sheds() != 0 || g.Sheds() != 0 || g.Depth() != 0 {
+		t.Fatal("nil handles counted something")
+	}
+}

@@ -1,0 +1,241 @@
+package guard
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+// The breaker states.
+const (
+	// StateClosed: traffic flows; consecutive failures are counted.
+	StateClosed State = iota
+	// StateOpen: traffic is shed until the open window (OpenTicks of
+	// logical time) elapses.
+	StateOpen
+	// StateHalfOpen: probe traffic flows; HalfOpenProbes consecutive
+	// successes close the breaker, any failure re-opens it.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerOptions configures a Breaker. The zero value selects the
+// defaults noted on each field.
+type BreakerOptions struct {
+	// Name labels the breaker's metric series. Default "default".
+	Name string
+	// FailureThreshold is how many consecutive failures trip the
+	// breaker open. Default 5.
+	FailureThreshold int
+	// OpenTicks is how long (in logical ticks) the breaker stays open
+	// before admitting probes. Default 8.
+	OpenTicks int64
+	// HalfOpenProbes is how many consecutive successes in half-open
+	// close the breaker again. Default 1.
+	HalfOpenProbes int
+	// Now supplies the logical clock. Nil selects the breaker's own
+	// event clock: one tick per Allow call, so "time" is admission
+	// pressure and the schedule is deterministic with no external
+	// clock at all.
+	Now func() int64
+	// Obs, when non-nil, exports guard_breaker_state (0 closed, 1
+	// open, 2 half-open), guard_breaker_rejected_total and
+	// guard_breaker_transitions_total{to=...} under the breaker name.
+	Obs *obs.Registry
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Name == "" {
+		o.Name = "default"
+	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 5
+	}
+	if o.OpenTicks == 0 {
+		o.OpenTicks = 8
+	}
+	if o.HalfOpenProbes == 0 {
+		o.HalfOpenProbes = 1
+	}
+	return o
+}
+
+// Breaker is a deterministic circuit breaker (closed → open →
+// half-open) driven by logical time. The nil *Breaker is the disabled
+// guard: Allow always admits, Success/Failure no-op, State reports
+// closed.
+type Breaker struct {
+	opt BreakerOptions
+
+	mu       sync.Mutex
+	state    State
+	fails    int   // consecutive failures while closed
+	probes   int   // consecutive successes while half-open
+	openedAt int64 // logical time the breaker last opened
+	events   int64 // internal event clock (used when opt.Now == nil)
+	rejected int64
+
+	rejectedC *obs.Counter
+	stateG    *obs.Gauge
+	toOpenC   *obs.Counter
+	toHalfC   *obs.Counter
+	toClosedC *obs.Counter
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(o BreakerOptions) *Breaker {
+	o = o.withDefaults()
+	b := &Breaker{opt: o}
+	if o.Obs != nil {
+		b.rejectedC = o.Obs.Counter("guard_breaker_rejected_total", "name", o.Name)
+		b.stateG = o.Obs.Gauge("guard_breaker_state", "name", o.Name)
+		b.toOpenC = o.Obs.Counter("guard_breaker_transitions_total", "name", o.Name, "to", "open")
+		b.toHalfC = o.Obs.Counter("guard_breaker_transitions_total", "name", o.Name, "to", "half-open")
+		b.toClosedC = o.Obs.Counter("guard_breaker_transitions_total", "name", o.Name, "to", "closed")
+		b.stateG.Set(float64(StateClosed))
+	}
+	return b
+}
+
+// now returns the current logical time, ticking the internal event
+// clock when no external clock is wired. Caller holds mu.
+func (b *Breaker) now() int64 {
+	if b.opt.Now != nil {
+		return b.opt.Now()
+	}
+	b.events++
+	return b.events
+}
+
+// setState transitions and updates the exported gauge/counters.
+// Caller holds mu.
+func (b *Breaker) setState(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.stateG.Set(float64(s))
+	switch s {
+	case StateOpen:
+		b.toOpenC.Inc()
+	case StateHalfOpen:
+		b.toHalfC.Inc()
+	case StateClosed:
+		b.toClosedC.Inc()
+	}
+}
+
+// Allow reports whether a request may proceed, advancing the logical
+// clock one tick (on the internal event clock) and performing the
+// open → half-open transition when the open window has elapsed. A shed
+// request must not reach the protected resource; the caller answers
+// its protocol's busy line in-band instead.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case StateOpen:
+		if now-b.openedAt >= b.opt.OpenTicks {
+			b.probes = 0
+			b.setState(StateHalfOpen)
+			return true
+		}
+		b.rejected++
+		b.rejectedC.Inc()
+		return false
+	default:
+		return true
+	}
+}
+
+// Success records a successful protected call.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.fails = 0
+	case StateHalfOpen:
+		b.probes++
+		if b.probes >= b.opt.HalfOpenProbes {
+			b.fails = 0
+			b.setState(StateClosed)
+		}
+	}
+}
+
+// Failure records a failed protected call, tripping the breaker when
+// the consecutive-failure threshold is reached (closed) or immediately
+// (half-open).
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.opt.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the breaker at the current logical time. Caller holds mu.
+func (b *Breaker) trip() {
+	b.fails = 0
+	b.probes = 0
+	// Do not tick the event clock here: the open window is measured in
+	// admission attempts, and the trip itself is not one.
+	if b.opt.Now != nil {
+		b.openedAt = b.opt.Now()
+	} else {
+		b.openedAt = b.events
+	}
+	b.setState(StateOpen)
+}
+
+// State returns the breaker's position (closed on the nil breaker).
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Rejected returns how many requests the breaker has shed (0 on nil).
+func (b *Breaker) Rejected() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}

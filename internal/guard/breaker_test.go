@@ -1,0 +1,214 @@
+package guard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker(BreakerOptions{
+		Name:             "t",
+		FailureThreshold: 3,
+		OpenTicks:        4,
+		HalfOpenProbes:   2,
+		Obs:              reg,
+	})
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+
+	// Failures below the threshold keep the breaker closed; a success
+	// resets the consecutive count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after interleaved failures = %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it open.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+
+	// While open, requests are shed until OpenTicks of logical time
+	// elapse. On the event clock each shed itself is a tick, so an
+	// OpenTicks=4 window sheds exactly 3 requests before the attempt at
+	// elapsed=4 is admitted as the probe.
+	var shed int
+	for b.State() == StateOpen {
+		if b.Allow() {
+			break
+		}
+		shed++
+		if shed > 100 {
+			t.Fatal("breaker never left open state")
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("shed %d requests while open, want 3 (OpenTicks-1)", shed)
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after open window = %v, want half-open", got)
+	}
+	if got := b.Rejected(); got != 3 {
+		t.Fatalf("Rejected() = %d, want 3", got)
+	}
+
+	// One probe success is not enough with HalfOpenProbes=2.
+	b.Success()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after 1 probe = %v, want half-open", got)
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 probes = %v, want closed", got)
+	}
+
+	// A failure in half-open re-opens immediately.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	for i := 0; i < 4; i++ {
+		b.Allow()
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after half-open failure = %v, want open", got)
+	}
+}
+
+func TestBreakerExternalClock(t *testing.T) {
+	var clock int64
+	b := NewBreaker(BreakerOptions{
+		FailureThreshold: 1,
+		OpenTicks:        10,
+		Now:              func() int64 { return clock },
+	})
+	clock = 100
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clock = 105
+	if b.Allow() {
+		t.Fatal("Allow admitted inside the open window")
+	}
+	clock = 110
+	if !b.Allow() {
+		t.Fatal("Allow shed after the open window elapsed")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker shed a request")
+	}
+	b.Success()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("nil breaker State() = %v, want closed", got)
+	}
+	if got := b.Rejected(); got != 0 {
+		t.Fatalf("nil breaker Rejected() = %d, want 0", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StateClosed:   "closed",
+		StateOpen:     "open",
+		StateHalfOpen: "half-open",
+		State(42):     "invalid",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// breakerTrace replays a byte-encoded op sequence against a fresh
+// breaker and returns a deterministic trace of every observable.
+func breakerTrace(ops []byte) string {
+	reg := obs.NewRegistry()
+	b := NewBreaker(BreakerOptions{
+		Name:             "fuzz",
+		FailureThreshold: 3,
+		OpenTicks:        5,
+		HalfOpenProbes:   2,
+		Obs:              reg,
+	})
+	out := ""
+	for _, op := range ops {
+		switch op % 3 {
+		case 0:
+			out += fmt.Sprintf("a%v", b.Allow())
+		case 1:
+			b.Success()
+			out += "s"
+		case 2:
+			b.Failure()
+			out += "f"
+		}
+		out += b.State().String()[:1]
+	}
+	return out + "|" + string(reg.SnapshotJSON())
+}
+
+// FuzzGuardBreaker checks that any op sequence (a) replays to a
+// byte-identical trace — the breaker is a pure function of its input
+// history — and (b) never violates the state invariants.
+func FuzzGuardBreaker(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 2, 2, 0, 0, 0, 0, 0, 1, 1})
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0, 1, 2})
+	f.Add([]byte{2, 2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1024 {
+			ops = ops[:1024]
+		}
+		t1 := breakerTrace(ops)
+		t2 := breakerTrace(ops)
+		if t1 != t2 {
+			t.Fatalf("breaker trace not deterministic:\n%s\n%s", t1, t2)
+		}
+
+		// Invariants over a single replay.
+		b := NewBreaker(BreakerOptions{FailureThreshold: 3, OpenTicks: 5, HalfOpenProbes: 2})
+		rejectedWhileNotOpen := false
+		for _, op := range ops {
+			before := b.State()
+			switch op % 3 {
+			case 0:
+				if !b.Allow() && before != StateOpen {
+					rejectedWhileNotOpen = true
+				}
+			case 1:
+				b.Success()
+			case 2:
+				b.Failure()
+			}
+			if s := b.State(); s != StateClosed && s != StateOpen && s != StateHalfOpen {
+				t.Fatalf("invalid state %v", s)
+			}
+		}
+		if rejectedWhileNotOpen {
+			t.Fatal("breaker shed a request while not open")
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWatchdogBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := NewWatchdog(WatchdogOptions{Name: "t", Budget: 10, Obs: reg})
+	if w.Expired() {
+		t.Fatal("fresh watchdog already expired")
+	}
+	if err := w.Tick(4); err != nil {
+		t.Fatalf("Tick(4) = %v within budget", err)
+	}
+	if err := w.Tick(6); err != nil {
+		t.Fatalf("Tick(6) = %v at exactly the budget", err)
+	}
+	if got := w.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %d, want 0", got)
+	}
+	if err := w.Tick(1); !errors.Is(err, ErrWatchdogExpired) {
+		t.Fatalf("Tick past budget = %v, want ErrWatchdogExpired", err)
+	}
+	if !w.Expired() {
+		t.Fatal("Expired() = false after expiry")
+	}
+	// Expiry is sticky.
+	if err := w.Tick(0); !errors.Is(err, ErrWatchdogExpired) {
+		t.Fatalf("Tick after expiry = %v, want ErrWatchdogExpired", err)
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	if w := NewWatchdog(WatchdogOptions{Budget: 0}); w != nil {
+		t.Fatal("Budget 0 should return the nil (disabled) watchdog")
+	}
+	if w := NewWatchdog(WatchdogOptions{Budget: -5}); w != nil {
+		t.Fatal("negative budget should return the nil watchdog")
+	}
+	var w *Watchdog
+	if err := w.Tick(1 << 40); err != nil {
+		t.Fatalf("nil watchdog Tick = %v, want nil", err)
+	}
+	if w.Expired() {
+		t.Fatal("nil watchdog Expired() = true")
+	}
+	if w.Remaining() != 0 {
+		t.Fatal("nil watchdog Remaining() != 0")
+	}
+}

@@ -181,6 +181,7 @@ func DefaultConfig() *Config {
 			"repro/internal/thermal",
 			"repro/internal/obs",
 			"repro/internal/fleet",
+			"repro/internal/guard",
 		},
 		ErrPackages: []string{
 			"repro/cmd/",

@@ -1,0 +1,82 @@
+package manage
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Overload edges for the planner: the thermal envelope collapsing to
+// (almost) zero budget must drive the balanced plan to its power-gated
+// floor — never an error, never an over-budget schedule.
+
+// TestBalancedThermalFloorPowerGates: with the managed chip's junction
+// ceiling pinched to a hair above ambient, MaxPower() is a couple of
+// watts — below any candidate schedule. The Fig. 13 walk must fall all
+// the way through the DVFS ladder to the power-gating floor and report a
+// budget clamped to the envelope.
+func TestBalancedThermalFloorPowerGates(t *testing.T) {
+	mg := manager(t)
+	pair := Pair{Critical: workload.MustByName("seq2seq"), Background: workload.MustByName("streamcluster")}
+	for _, c := range mg.M.Chips {
+		if c.Profile.Label != mg.ChipLabel {
+			continue
+		}
+		prev := c.Thermal.TjMaxC
+		c.Thermal.TjMaxC = c.Thermal.AmbientC + 0.5
+		defer func() { c.Thermal.TjMaxC = prev }()
+		env := c.Thermal.MaxPower()
+
+		ev, err := mg.Evaluate(ScenarioManagedBalanced, pair, 0.10)
+		if err != nil {
+			t.Fatalf("zero-budget evaluation errored: %v", err)
+		}
+		if ev.BackgroundSetting != "power-gated" {
+			t.Errorf("background setting %q under a %.1f W envelope, want power-gated",
+				ev.BackgroundSetting, float64(env))
+		}
+		if float64(ev.PowerBudget) > float64(env)+1e-9 {
+			t.Errorf("planned budget %.2f W exceeds the thermal envelope %.2f W",
+				float64(ev.PowerBudget), float64(env))
+		}
+	}
+
+	// The floor plan must not leak gated cores into later evaluations.
+	for _, c := range mg.M.AllCores() {
+		if c.Gated() || c.Workload().Name != "idle" {
+			t.Fatalf("%s left configured after the zero-budget evaluation", c.Profile.Label)
+		}
+	}
+}
+
+// TestBalancedBudgetClampedToEnvelope: even with a healthy chip the
+// QoS-derived budget must never exceed the package thermal envelope.
+func TestBalancedBudgetClampedToEnvelope(t *testing.T) {
+	mg := manager(t)
+	for _, c := range mg.M.Chips {
+		if c.Profile.Label != mg.ChipLabel {
+			continue
+		}
+		env := c.Thermal.MaxPower()
+		for _, pair := range Fig14Pairs() {
+			ev, err := mg.Evaluate(ScenarioManagedBalanced, pair, 0.10)
+			if err != nil {
+				t.Fatalf("%s: %v", pair.Label(), err)
+			}
+			if float64(ev.PowerBudget) > float64(env)+1e-9 {
+				t.Errorf("%s: budget %.2f W above envelope %.2f W",
+					pair.Label(), float64(ev.PowerBudget), float64(env))
+			}
+		}
+	}
+}
+
+// TestBalancedRejectsNegativeQoS: a negative target is as degenerate as
+// a zero one (the zero case is covered in balanced_test.go).
+func TestBalancedRejectsNegativeQoS(t *testing.T) {
+	mg := manager(t)
+	pair := Fig14Pairs()[0]
+	if _, err := mg.Evaluate(ScenarioManagedBalanced, pair, -0.1); err == nil {
+		t.Error("negative QoS target accepted")
+	}
+}
