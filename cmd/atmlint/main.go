@@ -1,18 +1,27 @@
 // Command atmlint runs the repository's domain-specific static
-// analyzers (internal/lint) over the module: determinism (detrand,
-// maporder), unit safety (unitsafety), float comparison hygiene
-// (floatcmp) and error hygiene (errdrop).
+// analyzers (internal/lint) over the module: per-package determinism
+// (detrand, maporder), unit safety (unitsafety), float comparison
+// hygiene (floatcmp), error hygiene (errdrop), hot-path allocation
+// discipline (hotpath), nil-safe-handle contracts (nilsafe), and the
+// whole-program determinism-taint rule (detflow).
 //
 // Usage:
 //
-//	atmlint [-json] [-rules] [package-dir | ./...]
+//	atmlint [-json] [-list] [-rules r1,r2] [-changed [-ref REF]] [package-dir | ./...]
 //
 // With no argument (or "./...") the whole module containing the
 // current directory is linted; with a package directory, just that
-// package. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// package. -rules restricts the run to a comma-separated rule subset
+// (the CI gate runs `-rules detflow,hotpath,nilsafe ./...` alongside
+// the full set). -changed lints only the packages whose Go files
+// differ from the git ref (-ref, default HEAD) — the pre-commit fast
+// path; whole-module completeness checks (stale detflow baseline
+// entries) run only on full walks. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure.
 //
-// Suppress an individual finding with an annotation on the same line
-// or the line directly above it:
+// Suppress an individual finding with an annotation on the same line,
+// the line directly above it, or the opening line of the multi-line
+// statement containing it:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 package main
@@ -32,9 +41,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("atmlint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	listRules := fs.Bool("rules", false, "list rule IDs and exit")
+	listRules := fs.Bool("list", false, "list rule IDs and exit")
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	changed := fs.Bool("changed", false, "lint only packages with Go files differing from -ref")
+	ref := fs.String("ref", "HEAD", "git ref -changed diffs against")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atmlint [-json] [-rules] [package-dir | ./...]")
+		fmt.Fprintln(os.Stderr, "usage: atmlint [-json] [-list] [-rules r1,r2] [-changed [-ref REF]] [package-dir | ./...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +57,11 @@ func run(args []string) int {
 			fmt.Printf("%-12s %-5s %s\n", a.Name, a.Severity, a.Doc)
 		}
 		return 0
+	}
+	analyzers, err := lint.SelectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmlint:", err)
+		return 2
 	}
 	wholeModule := true
 	dir := "."
@@ -59,14 +76,43 @@ func run(args []string) int {
 		return 2
 	}
 
-	runner := lint.Run
-	if !wholeModule {
-		runner = lint.RunDir
-	}
-	findings, err := runner(dir, lint.DefaultConfig())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atmlint:", err)
-		return 2
+	var findings []lint.Finding
+	switch {
+	case *changed:
+		if !wholeModule {
+			fmt.Fprintln(os.Stderr, "atmlint: -changed takes no package argument (it discovers its own)")
+			return 2
+		}
+		root, err := lint.ModuleRoot(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+		dirs, err := lint.ChangedDirs(root, *ref)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+		if len(dirs) == 0 {
+			fmt.Fprintf(os.Stderr, "atmlint: no Go changes against %s\n", *ref)
+		}
+		findings, err = lint.RunDirs(dirs, lint.DefaultConfig(), analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+	case wholeModule:
+		findings, err = lint.RunRules(dir, lint.DefaultConfig(), analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
+	default:
+		findings, err = lint.RunDirs([]string{dir}, lint.DefaultConfig(), analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmlint:", err)
+			return 2
+		}
 	}
 	if *jsonOut {
 		if err := lint.RenderJSON(os.Stdout, findings); err != nil {

@@ -76,6 +76,8 @@ func (r TrialResult) OK() bool { return r.Failure == FailureNone }
 // from the empirical mix the paper reports; whether it is *detected*
 // depends on the workload's checker (SDCs in checker-less programs
 // escape — which is why the methodology insists on checked workloads).
+//
+//atm:hotpath
 func (m *Machine) RunTrial(label string, w workload.Profile, src *rng.Source) (TrialResult, error) {
 	res, err := m.runTrialModel(label, w, src)
 	if err != nil {
@@ -91,6 +93,8 @@ func (m *Machine) RunTrial(label string, w workload.Profile, src *rng.Source) (T
 
 // runTrialModel is the physical trial: the failure model without any
 // injected harness faults.
+//
+//atm:hotpath
 func (m *Machine) runTrialModel(label string, w workload.Profile, src *rng.Source) (TrialResult, error) {
 	core, err := m.Core(label)
 	if err != nil {

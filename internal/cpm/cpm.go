@@ -79,6 +79,8 @@ func (m *Monitor) Program(reduction int) error {
 
 // SiteDelay returns the full CPM path delay (inserted delay + synthetic
 // path) of site i at supply voltage v.
+//
+//atm:hotpath
 func (m *Monitor) SiteDelay(site int, v units.Volt) units.Picosecond {
 	p := m.core.Params()
 	atRef := m.core.SynthPs + m.core.SiteSkewPs[site] + m.core.InsertedDelayPs(m.taps)
@@ -101,6 +103,8 @@ type Reading struct {
 // Measure quantizes the timing slack left in one clock cycle of the
 // given cycle time at supply voltage v. It implements the worst-of-five
 // reporting: the site with the largest path delay (least slack) wins.
+//
+//atm:hotpath
 func (m *Monitor) Measure(cycle units.Picosecond, v units.Volt) Reading {
 	p := m.core.Params()
 	worst := 0

@@ -104,6 +104,8 @@ func (l *Loop) Intervals() int { return l.intervals }
 // error between measured slack and the θ-unit target is converted to a
 // frequency correction and applied with asymmetric slew limits. The
 // quantized reading still drives the emergency (clock-gating) response.
+//
+//atm:hotpath
 func (l *Loop) Step(v units.Volt) cpm.Reading {
 	l.intervals++
 	r := l.monitor.Measure(l.freq.CycleTime(), v)

@@ -41,6 +41,8 @@ func (o BucketOptions) withDefaults() BucketOptions {
 // Bucket is a deterministic token-bucket admission controller on
 // logical time. The nil *Bucket is the disabled guard: Allow always
 // admits and counts nothing.
+//
+//atm:nilsafe
 type Bucket struct {
 	opt BucketOptions
 
@@ -68,6 +70,8 @@ func NewBucket(o BucketOptions) *Bucket {
 // Allow takes one token, refilling first from elapsed logical time.
 // It never blocks: a dry bucket sheds, and the caller answers its
 // protocol's busy line in-band.
+//
+//atm:hotpath
 func (b *Bucket) Allow() bool {
 	if b == nil {
 		return true
@@ -140,6 +144,8 @@ func (o GateOptions) withDefaults() GateOptions {
 // TryAcquire never blocks — over the limit it sheds, and the caller
 // answers its protocol's busy line in-band. The nil *Gate is the
 // disabled guard: it always admits and counts nothing.
+//
+//atm:nilsafe
 type Gate struct {
 	opt GateOptions
 
@@ -164,6 +170,8 @@ func NewGate(o GateOptions) *Gate {
 
 // TryAcquire claims a slot, or sheds when the gate is full. It never
 // blocks.
+//
+//atm:hotpath
 func (g *Gate) TryAcquire() bool {
 	if g == nil {
 		return true
@@ -183,6 +191,8 @@ func (g *Gate) TryAcquire() bool {
 // Release returns a slot claimed by TryAcquire. Releasing below zero
 // is clamped — a double release is a bug in the caller but must not
 // turn the gate into an unbounded admission hole.
+//
+//atm:hotpath
 func (g *Gate) Release() {
 	if g == nil {
 		return

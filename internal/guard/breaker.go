@@ -79,6 +79,8 @@ func (o BreakerOptions) withDefaults() BreakerOptions {
 // half-open) driven by logical time. The nil *Breaker is the disabled
 // guard: Allow always admits, Success/Failure no-op, State reports
 // closed.
+//
+//atm:nilsafe
 type Breaker struct {
 	opt BreakerOptions
 
@@ -145,6 +147,8 @@ func (b *Breaker) setState(s State) {
 // open → half-open transition when the open window has elapsed. A shed
 // request must not reach the protected resource; the caller answers
 // its protocol's busy line in-band instead.
+//
+//atm:hotpath
 func (b *Breaker) Allow() bool {
 	if b == nil {
 		return true
@@ -168,6 +172,8 @@ func (b *Breaker) Allow() bool {
 }
 
 // Success records a successful protected call.
+//
+//atm:hotpath
 func (b *Breaker) Success() {
 	if b == nil {
 		return
@@ -189,6 +195,8 @@ func (b *Breaker) Success() {
 // Failure records a failed protected call, tripping the breaker when
 // the consecutive-failure threshold is reached (closed) or immediately
 // (half-open).
+//
+//atm:hotpath
 func (b *Breaker) Failure() {
 	if b == nil {
 		return

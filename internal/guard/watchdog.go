@@ -32,6 +32,8 @@ type WatchdogOptions struct {
 // but it is exactly reproducible: the same workload expires at the
 // same tick on every run and every worker count. The nil *Watchdog is
 // the disabled guard: Tick always returns nil.
+//
+//atm:nilsafe
 type Watchdog struct {
 	mu        sync.Mutex
 	remaining int64
@@ -58,6 +60,8 @@ func NewWatchdog(o WatchdogOptions) *Watchdog {
 
 // Tick consumes n ticks of budget and reports ErrWatchdogExpired once
 // the budget is spent (and on every tick thereafter).
+//
+//atm:hotpath
 func (w *Watchdog) Tick(n int64) error {
 	if w == nil {
 		return nil

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModuleRoot resolves the module root (the directory holding go.mod)
+// at or above dir — the root ChangedDirs diffs against.
+func ModuleRoot(dir string) (string, error) {
+	return findModuleRoot(dir)
+}
+
+// ChangedDirs returns the package directories (absolute, sorted,
+// deduplicated) whose Go files differ from the git ref — tracked
+// changes via `git diff --name-only <ref>` plus untracked files via
+// `git ls-files --others` — rooted at the module directory root. It is
+// the discovery step of `atmlint -changed`: the pre-commit fast path
+// lints only these directories while CI's full job keeps whole-module
+// coverage. Directories that no longer exist (all files deleted) and
+// testdata fixtures are skipped.
+func ChangedDirs(root, ref string) ([]string, error) {
+	diff, err := gitLines(root, "diff", "--name-only", ref, "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git diff against %q: %w", ref, err)
+	}
+	untracked, err := gitLines(root, "ls-files", "--others", "--exclude-standard", "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files: %w", err)
+	}
+
+	seen := map[string]bool{}
+	var dirs []string
+	for _, rel := range append(diff, untracked...) {
+		if rel == "" || !strings.HasSuffix(rel, ".go") {
+			continue
+		}
+		if isTestdataPath(rel) {
+			continue // fixtures are linted through their tests, not module walks
+		}
+		dir := filepath.Join(root, filepath.Dir(filepath.FromSlash(rel)))
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			continue // directory removed entirely
+		}
+		has, err := hasGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// isTestdataPath reports whether the slash-separated relative path has
+// a testdata component.
+func isTestdataPath(rel string) bool {
+	for _, part := range strings.Split(rel, "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// gitLines runs one git command under root and splits its output into
+// trimmed lines.
+func gitLines(root string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("%w: %s", err, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	var lines []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if l := strings.TrimSpace(line); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}

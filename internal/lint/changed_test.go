@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// initChangedRepo builds a throwaway git repo shaped like a module:
+// go.mod at the root, two committed packages, and returns its root.
+func initChangedRepo(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/changed\n\ngo 1.22\n")
+	write("pkg1/a.go", "package pkg1\n")
+	write("pkg2/b.go", "package pkg2\n")
+	git(t, root, "init", "-q")
+	git(t, root, "config", "user.email", "lint@test")
+	git(t, root, "config", "user.name", "lint test")
+	git(t, root, "add", ".")
+	git(t, root, "commit", "-q", "-m", "seed")
+	return root
+}
+
+func git(t *testing.T, root string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+func TestChangedDirs(t *testing.T) {
+	root := initChangedRepo(t)
+
+	dirs, err := ChangedDirs(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 0 {
+		t.Errorf("clean tree: want no changed dirs, got %v", dirs)
+	}
+
+	// A tracked modification, an untracked new package, and a testdata
+	// fixture change: the first two surface, the fixture does not.
+	if err := os.WriteFile(filepath.Join(root, "pkg1", "a.go"), []byte("package pkg1\n\nvar X = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "pkg3"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg3", "c.go"), []byte("package pkg3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "pkg1", "testdata", "src"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg1", "testdata", "src", "f.go"), []byte("package f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dirs, err = ChangedDirs(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "pkg1"), filepath.Join(root, "pkg3")}
+	if len(dirs) != len(want) {
+		t.Fatalf("changed dirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Errorf("changed dirs[%d] = %q, want %q", i, dirs[i], want[i])
+		}
+	}
+
+	// Deleting a package entirely must not surface a nonexistent dir.
+	git(t, root, "rm", "-q", "pkg2/b.go")
+	dirs, err = ChangedDirs(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(d) == "pkg2" {
+			t.Errorf("deleted package pkg2 still reported: %v", dirs)
+		}
+	}
+
+	// A bad ref is a real error, not an empty result.
+	if _, err := ChangedDirs(root, "no-such-ref"); err == nil {
+		t.Error("want error for nonexistent ref")
+	}
+}
+
+func TestIsTestdataPath(t *testing.T) {
+	cases := map[string]bool{
+		"internal/lint/testdata/src/x/x.go": true,
+		"testdata/f.go":                     true,
+		"internal/testdatax/f.go":           false,
+		"internal/lint/changed.go":          false,
+	}
+	for rel, want := range cases {
+		if got := isTestdataPath(rel); got != want {
+			t.Errorf("isTestdataPath(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+func TestModuleRootWrapper(t *testing.T) {
+	root := initChangedRepo(t)
+	got, err := ModuleRoot(filepath.Join(root, "pkg1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != root {
+		t.Errorf("ModuleRoot(pkg1) = %q, want %q", got, root)
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DetFlow is the whole-program companion to detrand: instead of
+// banning nondeterminism sources inside simulation packages only, it
+// walks the cross-package call graph and flags every function
+// reachable from a simulation entry point — exported functions and
+// package initialization of the Config.SimPackages — whose chain
+// reaches a wall-clock read, an environment read, an ambient-RNG
+// package, or map-order-dependent output, through any helper in any
+// package. Intentional edges (CLI wiring, crash-point arming) live in
+// a reviewed baseline file, one `<function-id> <sink> -- <reason>`
+// line each; whole-module runs additionally flag stale entries so the
+// baseline can only shrink.
+var DetFlow = &Analyzer{
+	Name:     "detflow",
+	Doc:      "forbid call chains from simulation entry points to wall-clock, environment, RNG or map-order sinks",
+	Severity: SeverityError,
+	RunProgram: runDetFlow,
+}
+
+// mapOrderSink is the baseline token for map-order-dependent output
+// reached through a helper (the per-package maporder rule names the
+// precise construct).
+const mapOrderSink = "map-order"
+
+// sinkUse is one direct use of a nondeterminism sink inside a
+// function body.
+type sinkUse struct {
+	fn   string // containing call-graph node
+	sink string // sink token: "time.Now", "math/rand", "map-order", ...
+	file string
+	line int
+	col  int
+}
+
+func runDetFlow(p *ProgramPass) {
+	graph := BuildCallGraph(p.Fset, p.Pkgs)
+	uses := collectSinkUses(p, graph)
+	entries := simEntries(p, graph)
+
+	// Deterministic BFS over sorted entries and sorted adjacency:
+	// first-visit parents give one stable example chain per node.
+	visited := map[string]bool{}
+	parent := map[string]string{}
+	queue := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if graph.Nodes[e] != nil && !visited[e] {
+			visited[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, edge := range graph.Nodes[id].Edges {
+			if visited[edge.Callee] || graph.Nodes[edge.Callee] == nil {
+				continue
+			}
+			visited[edge.Callee] = true
+			parent[edge.Callee] = id
+			queue = append(queue, edge.Callee)
+		}
+	}
+
+	baseline, baselinePath := loadDetflowBaseline(p)
+	usedBaseline := map[string]bool{}
+
+	// One finding per (tainted function, sink token), at the first
+	// sink site in deterministic order.
+	sort.Slice(uses, func(i, j int) bool {
+		a, b := uses[i], uses[j]
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.sink != b.sink {
+			return a.sink < b.sink
+		}
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	seen := map[string]bool{}
+	for _, u := range uses {
+		if !visited[u.fn] {
+			continue
+		}
+		key := u.fn + " " + u.sink
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := baseline[key]; ok {
+			usedBaseline[key] = true
+			continue
+		}
+		p.report(Finding{
+			Rule:     p.Analyzer.Name,
+			Severity: p.Analyzer.Severity,
+			File:     u.file,
+			Line:     u.line,
+			Col:      u.col,
+			Message: fmt.Sprintf(
+				"determinism taint: %s reaches %s (chain %s); fix the helper or baseline %q with a reason in %s",
+				u.fn, u.sink, taintChain(parent, u.fn), key, p.Config.DetflowBaseline),
+		})
+	}
+
+	// Completeness: a baseline entry nothing matches is stale. Only a
+	// whole-module run can prove absence, so partial (-changed or
+	// fixture) runs skip this.
+	if p.WholeProgram && baselinePath != "" {
+		keys := make([]string, 0, len(baseline))
+		for k := range baseline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !usedBaseline[k] {
+				p.ReportFile(p.Config.DetflowBaseline, baseline[k].line,
+					"stale detflow baseline entry %q: no call chain reaches it any more; delete the line", k)
+			}
+		}
+	}
+}
+
+// simEntries returns the sorted, deduplicated entry set: package
+// initialization plus every exported non-test function/method of the
+// simulation packages.
+func simEntries(p *ProgramPass, graph *CallGraph) []string {
+	var entries []string
+	for _, pkg := range p.Pkgs {
+		if p.Config.isSimPackage(pkg.Path) {
+			entries = append(entries, initID(pkg.Path))
+		}
+	}
+	for _, id := range graph.SortedIDs() {
+		n := graph.Nodes[id]
+		if n.Exported && !n.TestOnly && p.Config.isSimPackage(n.Pkg) {
+			entries = append(entries, id)
+		}
+	}
+	sort.Strings(entries)
+	return entries
+}
+
+// collectSinkUses finds every direct sink use in every analyzed
+// package: selector uses of the detrand banned functions, any selector
+// into a banned-import package, and map-order hazards detected by
+// re-running the maporder rule with a capturing reporter. The blessed
+// RNG package is exempt — it is the seeded source the rest of the
+// tree is directed to.
+func collectSinkUses(p *ProgramPass, graph *CallGraph) []sinkUse {
+	var uses []sinkUse
+	add := func(fn, sink, file string, line, col int) {
+		if fn == "" {
+			return
+		}
+		uses = append(uses, sinkUse{fn: fn, sink: sink, file: file, line: line, col: col})
+	}
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == p.Config.RNGPackage {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				path := pkgName.Imported().Path()
+				var sink string
+				if banned, ok := bannedFuncs[path]; ok && banned[sel.Sel.Name] {
+					sink = path + "." + sel.Sel.Name
+				} else if _, ok := bannedImports[path]; ok {
+					sink = path
+				} else {
+					return true
+				}
+				pos := p.Fset.Position(sel.Pos())
+				add(graph.NodeAt(sel.Pos()), sink, pos.Filename, pos.Line, pos.Column)
+				return true
+			})
+		}
+		// Map-order hazards: reuse the per-package rule's detection
+		// verbatim, attributing each raw finding to its function.
+		capture := func(f Finding) {
+			add(graph.NodeAtLine(f.File, f.Line), mapOrderSink, f.File, f.Line, f.Col)
+		}
+		runMapOrder(&Pass{
+			Analyzer: MapOrder,
+			Fset:     p.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Config:   p.Config,
+			report:   capture,
+		})
+	}
+	return uses
+}
+
+// taintChain renders the example path entry -> ... -> fn recorded by
+// the BFS parent map.
+func taintChain(parent map[string]string, fn string) string {
+	chain := []string{fn}
+	for {
+		prev, ok := parent[fn]
+		if !ok {
+			break
+		}
+		chain = append(chain, prev)
+		fn = prev
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// baselineLine is one parsed detflow baseline entry.
+type baselineLine struct {
+	reason string
+	line   int
+}
+
+// loadDetflowBaseline parses the reviewed baseline. Missing files are
+// an empty baseline (fresh tree); malformed lines are findings against
+// the baseline file itself. Returns the map keyed by
+// "<function-id> <sink>" and the absolute path ("" when disabled).
+func loadDetflowBaseline(p *ProgramPass) (map[string]baselineLine, string) {
+	out := map[string]baselineLine{}
+	if p.Config.DetflowBaseline == "" {
+		return out, ""
+	}
+	path := filepath.Join(p.Root, filepath.FromSlash(p.Config.DetflowBaseline))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, ""
+	}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entry, reason, found := strings.Cut(line, " -- ")
+		fields := strings.Fields(entry)
+		reason = strings.TrimSpace(reason)
+		if !found || len(fields) != 2 || reason == "" {
+			p.ReportFile(p.Config.DetflowBaseline, i+1,
+				"malformed detflow baseline line: want \"<function-id> <sink> -- <reason>\"")
+			continue
+		}
+		out[fields[0]+" "+fields[1]] = baselineLine{reason: reason, line: i + 1}
+	}
+	return out, path
+}

@@ -20,8 +20,11 @@ import (
 // fixtureCases maps fixture package name → the analyzers run over it.
 var fixtureCases = map[string][]*Analyzer{
 	"detrand":    {DetRand},
+	"detflow":    {DetFlow},
 	"maporder":   {MapOrder},
 	"floatcmp":   {FloatCmp},
+	"hotpath":    {HotPath},
+	"nilsafe":    {NilSafe},
 	"unitsafety": {UnitSafety},
 	"errdrop":    {ErrDrop},
 	"ignoredir":  {FloatCmp},
@@ -169,8 +172,8 @@ func TestIgnoreDirectiveRule(t *testing.T) {
 	if rules["ignore"] != 2 {
 		t.Errorf("want 2 findings under rule \"ignore\" (malformed + unknown rule), got %d: %v", rules["ignore"], findings)
 	}
-	if rules["floatcmp"] != 2 {
-		t.Errorf("want 2 unsuppressed floatcmp findings, got %d: %v", rules["floatcmp"], findings)
+	if rules["floatcmp"] != 3 {
+		t.Errorf("want 3 unsuppressed floatcmp findings (wrong rule, too far, block not anchored), got %d: %v", rules["floatcmp"], findings)
 	}
 }
 

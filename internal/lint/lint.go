@@ -13,8 +13,16 @@
 //
 //	detrand    — no math/rand, time.Now/Since or os.Getenv inside
 //	             simulation packages; draw from internal/rng instead.
+//	detflow    — whole-program determinism taint: no call chain from a
+//	             simulation entry point to a wall-clock, environment or
+//	             ambient-randomness read through any helper in any
+//	             package (baseline file for reviewed edges).
 //	maporder   — no order-sensitive work (appends later left unsorted,
 //	             output writes, RNG draws) inside range-over-map loops.
+//	hotpath    — no allocation- or dispatch-inducing constructs inside
+//	             functions annotated //atm:hotpath.
+//	nilsafe    — exported methods on //atm:nilsafe handle types must
+//	             guard a nil receiver before touching receiver state.
 //	floatcmp   — no ==/!= between floating-point values outside tests;
 //	             compare via internal/stats epsilon helpers.
 //	unitsafety — no direct conversion between distinct internal/units
@@ -22,8 +30,14 @@
 //	errdrop    — no discarded error returns in cmd/ and internal/fsp.
 //	ignore     — malformed or unknown //lint:ignore directives.
 //
-// A finding is suppressed by an annotation on the same line or the line
-// directly above it:
+// Most rules inspect one package at a time (Analyzer.Run); detflow is a
+// program rule (Analyzer.RunProgram) that sees every loaded package at
+// once and walks the cross-package call graph built in callgraph.go.
+//
+// A finding is suppressed by an annotation on the same line, the line
+// directly above it, or — for findings inside a multi-line simple
+// statement (a long append/builder chain) — on or directly above the
+// statement's opening line:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
@@ -55,17 +69,67 @@ const (
 )
 
 // Analyzer is one lint rule: a name, documentation, a severity for its
-// findings and a Run function walking one type-checked package.
+// findings and either a per-package Run function or a whole-program
+// RunProgram function (exactly one must be set).
 type Analyzer struct {
 	// Name is the rule ID reported with each finding and matched by
 	// //lint:ignore directives.
 	Name string
-	// Doc is a one-line description shown by `atmlint -rules`.
+	// Doc is a one-line description shown by `atmlint -list`.
 	Doc string
 	// Severity classifies the rule's findings.
 	Severity Severity
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects every loaded package at once — the hook for
+	// call-graph rules that must see cross-package flows.
+	RunProgram func(*ProgramPass)
+}
+
+// ProgramPass carries every analyzed package through one whole-program
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are all analyzed packages, sorted by import path.
+	Pkgs []*Package
+	// Config is the run configuration.
+	Config *Config
+	// Root is the absolute module root (for root-relative side files
+	// like the detflow baseline).
+	Root string
+	// WholeProgram is true when Pkgs is the entire module — the only
+	// mode in which completeness findings (stale baseline entries) are
+	// meaningful.
+	WholeProgram bool
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos, mirroring Pass.Reportf.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Rule:     p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFile records a finding against a plain (non-Go) file, such as
+// the detflow baseline.
+func (p *ProgramPass) ReportFile(file string, line int, format string, args ...any) {
+	p.report(Finding{
+		Rule:     p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		File:     file,
+		Line:     line,
+		Col:      1,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -157,8 +221,12 @@ type Config struct {
 	// TestdataPrefix puts lint's own fixture packages (which live
 	// under a testdata directory and are skipped by module walks) in
 	// scope for every path-scoped rule, so `atmlint <fixture-dir>`
-	// exercises all five analyzers.
+	// exercises all analyzers.
 	TestdataPrefix string
+	// DetflowBaseline is the module-root-relative path of the reviewed
+	// baseline of intentional determinism-taint edges. Empty disables
+	// baseline handling (fixture runs).
+	DetflowBaseline string
 }
 
 // DefaultConfig returns the repository's lint scope.
@@ -187,9 +255,10 @@ func DefaultConfig() *Config {
 			"repro/cmd/",
 			"repro/internal/fsp",
 		},
-		UnitsPackage:   "repro/internal/units",
-		RNGPackage:     "repro/internal/rng",
-		TestdataPrefix: "repro/internal/lint/testdata/",
+		UnitsPackage:    "repro/internal/units",
+		RNGPackage:      "repro/internal/rng",
+		TestdataPrefix:  "repro/internal/lint/testdata/",
+		DetflowBaseline: "internal/lint/detflow_baseline.txt",
 	}
 }
 
@@ -232,13 +301,50 @@ func (c *Config) isTestdata(path string) bool {
 func Analyzers() []*Analyzer {
 	as := []*Analyzer{
 		DetRand,
+		DetFlow,
 		ErrDrop,
 		FloatCmp,
+		HotPath,
 		MapOrder,
+		NilSafe,
 		UnitSafety,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
+}
+
+// SelectAnalyzers resolves a comma-separated rule list ("" selects
+// every rule) against the registry, preserving the sorted order.
+func SelectAnalyzers(rules string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	picked := map[string]bool{}
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if byName[r] == nil {
+			return nil, fmt.Errorf("lint: unknown rule %q", r)
+		}
+		picked[r] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if picked[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty rule selection %q", rules)
+	}
+	return out, nil
 }
 
 // ---- //lint:ignore directives ----
@@ -314,11 +420,59 @@ func parseIgnores(fset *token.FileSet, file *ast.File, report func(Finding)) map
 	return out
 }
 
-// suppressed reports whether a finding at line is covered by a
-// directive for its rule on the same line or the line directly above.
-func suppressed(f Finding, ignores map[int][]ignoreDirective) bool {
-	for _, line := range []int{f.Line, f.Line - 1} {
-		for _, d := range ignores[line] {
+// fileIgnores is the suppression context of one source file: its
+// parsed directives keyed by line, plus the statement anchors that let
+// a directive on the opening line of a multi-line statement cover
+// findings on the statement's continuation lines.
+type fileIgnores struct {
+	directives map[int][]ignoreDirective
+	anchors    map[int]int // continuation line → statement opening line
+}
+
+// stmtAnchors maps every continuation line of a multi-line *simple*
+// statement (assignment, expression, return, defer, go, send, decl) to
+// the statement's opening line. Block-bearing statements (if, for,
+// switch, func) are deliberately excluded: a directive on `if` must not
+// blanket-suppress its whole body. Inner statements win, so a one-line
+// statement inside a multi-line one anchors to itself.
+func stmtAnchors(fset *token.FileSet, file *ast.File) map[int]int {
+	anchors := map[int]int{}
+	mark := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		for line := start + 1; line <= end; line++ {
+			anchors[line] = start
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt,
+			*ast.DeferStmt, *ast.GoStmt, *ast.SendStmt,
+			*ast.IncDecStmt, *ast.DeclStmt:
+			mark(s.(ast.Node))
+		case *ast.ValueSpec: // package-level var initializers
+			mark(s)
+		}
+		return true
+	})
+	return anchors
+}
+
+// suppressed reports whether a finding is covered by a directive for
+// its rule on the same line, the line directly above, or (via the
+// statement anchors) on or directly above the opening line of the
+// multi-line statement containing it.
+func suppressed(f Finding, ignores map[string]*fileIgnores) bool {
+	fi := ignores[f.File]
+	if fi == nil {
+		return false
+	}
+	lines := []int{f.Line, f.Line - 1}
+	if anchor, ok := fi.anchors[f.Line]; ok {
+		lines = append(lines, anchor, anchor-1)
+	}
+	for _, line := range lines {
+		for _, d := range fi.directives[line] {
 			for _, r := range d.rules {
 				if r == f.Rule {
 					return true

@@ -72,11 +72,11 @@ func TestSortFindingsOrder(t *testing.T) {
 
 func TestAnalyzersSortedAndNamed(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("want 5 analyzers, got %d", len(as))
+	if len(as) != 8 {
+		t.Fatalf("want 8 analyzers, got %d", len(as))
 	}
 	for i, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunProgram == nil) {
 			t.Errorf("analyzer %d incompletely registered: %+v", i, a)
 		}
 		if i > 0 && as[i-1].Name >= a.Name {

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilSafe enforces the nil-safe-handle contract documented by
+// internal/obs and internal/guard: a nil *Counter, *Breaker, etc. is a
+// valid "disabled" handle, so every exported pointer-receiver method
+// on a type annotated //atm:nilsafe must compare the receiver against
+// nil before the first receiver field access or dereference. Calling
+// another pointer-receiver method on the receiver is allowed — that
+// method guards itself — but a value-receiver method call dereferences
+// and counts as an access. Methods that never touch receiver state
+// pass vacuously.
+//
+// The check is structural (a nil comparison lexically precedes the
+// first access), which is exactly the shape every handle in obs/guard
+// uses: `if x == nil { return }` as the first statement.
+var NilSafe = &Analyzer{
+	Name:     "nilsafe",
+	Doc:      "require nil-receiver guards in exported methods of //atm:nilsafe handle types",
+	Severity: SeverityError,
+	Run:      runNilSafe,
+}
+
+// nilSafeDirective marks a handle type whose methods must guard nil.
+const nilSafeDirective = "//atm:nilsafe"
+
+func runNilSafe(pass *Pass) {
+	handles := nilSafeTypes(pass)
+	if len(handles) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, isPtr := receiverType(pass, fd)
+			if !isPtr || !handles[recvName] {
+				continue
+			}
+			checkNilSafeMethod(pass, fd)
+		}
+	}
+}
+
+// nilSafeTypes collects the names of types annotated //atm:nilsafe in
+// this package, from either the type's own doc group or the enclosing
+// GenDecl's.
+func nilSafeTypes(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, nilSafeDirective) || (len(gd.Specs) == 1 && hasDirective(gd.Doc, nilSafeDirective)) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType resolves a method's receiver type name and whether the
+// receiver is a pointer.
+func receiverType(pass *Pass, fd *ast.FuncDecl) (string, bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// checkNilSafeMethod verifies one method: the first receiver state
+// access must be lexically preceded by a receiver nil comparison.
+func checkNilSafeMethod(pass *Pass, fd *ast.FuncDecl) {
+	recv := receiverObject(pass, fd)
+	if recv == nil {
+		return // unnamed receiver cannot be accessed at all
+	}
+	guardPos := token.Pos(0)
+	var firstAccess ast.Node
+	var accessWhat string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if (e.Op == token.EQL || e.Op == token.NEQ) && isNilCompare(pass, e, recv) {
+				if guardPos == 0 || e.Pos() < guardPos {
+					guardPos = e.Pos()
+				}
+			}
+		case *ast.SelectorExpr:
+			ident, ok := e.X.(*ast.Ident)
+			if !ok || pass.Info.ObjectOf(ident) != recv {
+				return true
+			}
+			sel, ok := pass.Info.Selections[e]
+			if !ok {
+				return true
+			}
+			switch obj := sel.Obj().(type) {
+			case *types.Var:
+				recordAccess(&firstAccess, &accessWhat, e, "field "+obj.Name())
+			case *types.Func:
+				// A pointer-receiver method guards itself; a
+				// value-receiver method dereferences the handle.
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+						recordAccess(&firstAccess, &accessWhat, e, "value-receiver method "+obj.Name())
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if ident, ok := e.X.(*ast.Ident); ok && pass.Info.ObjectOf(ident) == recv {
+				recordAccess(&firstAccess, &accessWhat, e, "dereference")
+			}
+		}
+		return true
+	})
+	if firstAccess == nil {
+		return // never touches receiver state
+	}
+	if guardPos == 0 || guardPos > firstAccess.Pos() {
+		pass.Reportf(firstAccess.Pos(),
+			"exported method %s on nil-safe handle %s touches %s before a nil-receiver guard; start with `if %s == nil { ... }`",
+			fd.Name.Name, recvTypeString(pass, fd), accessWhat, recv.Name())
+	}
+}
+
+// recordAccess keeps the lexically first receiver access.
+func recordAccess(first *ast.Node, what *string, n ast.Node, desc string) {
+	if *first == nil || n.Pos() < (*first).Pos() {
+		*first = n
+		*what = desc
+	}
+}
+
+// receiverObject returns the receiver's types.Object, or nil for an
+// anonymous receiver.
+func receiverObject(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isNilCompare reports whether e compares the receiver object to nil.
+func isNilCompare(pass *Pass, e *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(x ast.Expr) bool {
+		ident, ok := x.(*ast.Ident)
+		return ok && pass.Info.ObjectOf(ident) == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		ident, ok := x.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := pass.Info.ObjectOf(ident).(*types.Nil)
+		return isNilObj
+	}
+	return (isRecv(e.X) && isNil(e.Y)) || (isNil(e.X) && isRecv(e.Y))
+}
+
+// recvTypeString renders the receiver type for messages ("(*Counter)").
+func recvTypeString(pass *Pass, fd *ast.FuncDecl) string {
+	name, _ := receiverType(pass, fd)
+	return "(*" + name + ")"
+}

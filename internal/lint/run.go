@@ -12,24 +12,45 @@ import (
 // returned findings are deterministically sorted; file paths are
 // relative to the module root so output is stable across checkouts.
 func Run(dir string, cfg *Config) ([]Finding, error) {
-	return run(dir, cfg, func(l *Loader) ([]*Package, error) {
+	return RunRules(dir, cfg, Analyzers())
+}
+
+// RunRules is Run restricted to the given analyzers.
+func RunRules(dir string, cfg *Config, analyzers []*Analyzer) ([]Finding, error) {
+	return runAnalyzers(dir, cfg, analyzers, true, func(l *Loader) ([]*Package, error) {
 		return l.LoadAll()
 	})
 }
 
 // RunDir lints the single package in dir (which must sit inside a
 // module), with the same directive handling and ordering as Run.
+// Program rules see only that package; completeness checks (stale
+// detflow baseline entries) are reserved for whole-module runs.
 func RunDir(dir string, cfg *Config) ([]Finding, error) {
-	return run(dir, cfg, func(l *Loader) ([]*Package, error) {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	return RunDirs([]string{dir}, cfg, Analyzers())
+}
+
+// RunDirs lints the packages in dirs (all inside one module) with the
+// given analyzers — the `-changed` fast path. Program rules see the
+// selected packages as a partial program.
+func RunDirs(dirs []string, cfg *Config, analyzers []*Analyzer) ([]Finding, error) {
+	if len(dirs) == 0 {
+		return []Finding{}, nil
+	}
+	return runAnalyzers(dirs[0], cfg, analyzers, false, func(l *Loader) ([]*Package, error) {
+		pkgs := make([]*Package, 0, len(dirs))
+		for _, dir := range dirs {
+			pkg, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
 		}
-		return []*Package{pkg}, nil
+		return pkgs, nil
 	})
 }
 
-func run(dir string, cfg *Config, load func(*Loader) ([]*Package, error)) ([]Finding, error) {
+func runAnalyzers(dir string, cfg *Config, analyzers []*Analyzer, whole bool, load func(*Loader) ([]*Package, error)) ([]Finding, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -38,10 +59,12 @@ func run(dir string, cfg *Config, load func(*Loader) ([]*Package, error)) ([]Fin
 	if err != nil {
 		return nil, err
 	}
-	findings := Analyze(loader, pkgs, cfg, Analyzers())
+	findings := analyze(loader, pkgs, cfg, analyzers, whole)
 	for i := range findings {
-		if rel, err := filepath.Rel(loader.root, findings[i].File); err == nil {
-			findings[i].File = filepath.ToSlash(rel)
+		if filepath.IsAbs(findings[i].File) {
+			if rel, err := filepath.Rel(loader.root, findings[i].File); err == nil {
+				findings[i].File = filepath.ToSlash(rel)
+			}
 		}
 	}
 	sortFindings(findings)
@@ -50,35 +73,64 @@ func run(dir string, cfg *Config, load func(*Loader) ([]*Package, error)) ([]Fin
 
 // Analyze applies analyzers to the given packages, suppressing
 // findings covered by //lint:ignore directives and reporting malformed
-// directives. Findings are sorted before being returned.
+// directives. Program analyzers see the packages as a (partial)
+// program; completeness findings are reserved for whole-module runs
+// through Run. Findings are sorted before being returned.
 func Analyze(loader *Loader, pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
+	return analyze(loader, pkgs, cfg, analyzers, false)
+}
+
+func analyze(loader *Loader, pkgs []*Package, cfg *Config, analyzers []*Analyzer, whole bool) []Finding {
 	var all []Finding
+	// Suppression context for every file of every package up front:
+	// program analyzers report across package boundaries.
+	ignores := map[string]*fileIgnores{}
 	for _, pkg := range pkgs {
-		ignores := map[int][]ignoreDirective{}
 		for _, file := range pkg.Files {
-			for line, ds := range parseIgnores(loader.fset, file, func(f Finding) {
-				all = append(all, f) // malformed directives are not suppressible
-			}) {
-				ignores[line] = append(ignores[line], ds...)
+			name := loader.fset.Position(file.Pos()).Filename
+			ignores[name] = &fileIgnores{
+				directives: parseIgnores(loader.fset, file, func(f Finding) {
+					all = append(all, f) // malformed directives are not suppressible
+				}),
+				anchors: stmtAnchors(loader.fset, file),
 			}
 		}
-		var raw []Finding
+	}
+	var raw []Finding
+	report := func(f Finding) { raw = append(raw, f) }
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     loader.fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Config:   cfg,
-				report:   func(f Finding) { raw = append(raw, f) },
-			}
-			a.Run(pass)
+				report:   report,
+			})
 		}
-		for _, f := range raw {
-			if !suppressed(f, ignores) {
-				all = append(all, f)
-			}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{
+			Analyzer:     a,
+			Fset:         loader.fset,
+			Pkgs:         pkgs,
+			Config:       cfg,
+			Root:         loader.root,
+			WholeProgram: whole,
+			report:       report,
+		})
+	}
+	for _, f := range raw {
+		if !suppressed(f, ignores) {
+			all = append(all, f)
 		}
 	}
 	sortFindings(all)

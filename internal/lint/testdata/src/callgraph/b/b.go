@@ -1,0 +1,30 @@
+// Package b is the other half of the call-graph fixture: a
+// pointer-receiver implementation of a.Runner that calls back into
+// package a, a function returning a bound method value, and a
+// package-level var initializer that must fold into b.init.
+package b
+
+import "repro/internal/lint/testdata/src/callgraph/a"
+
+// Slow is the pointer-receiver implementation living across the
+// package boundary from the Runner interface.
+type Slow struct {
+	depth int
+}
+
+// Run crosses back into package a.
+func (s *Slow) Run() int {
+	return a.Ping(s.depth)
+}
+
+// Handle returns a bound method value: a reference edge, not a call.
+func Handle(s *Slow) func() int {
+	return s.Run
+}
+
+// boot's initializer calls a.Ping and must hang off the b.init
+// pseudo-node.
+var boot = a.Ping(3)
+
+// Boot exposes the initialized value.
+func Boot() int { return boot }

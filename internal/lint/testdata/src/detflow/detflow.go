@@ -1,0 +1,77 @@
+// Package detflow is the fixture for the whole-program determinism
+// taint rule. The package path sits under the lint testdata prefix, so
+// its exported functions count as simulation entry points; findings
+// land on the sink lines, deep inside helpers.
+package detflow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Entry reaches the wall clock two helper hops down.
+func Entry() int64 {
+	return helperA()
+}
+
+func helperA() int64 { return helperB() }
+
+func helperB() int64 {
+	return time.Now().UnixNano() // want "determinism taint: repro/internal/lint/testdata/src/detflow.helperB reaches time.Now"
+}
+
+// Env reads the environment through a helper.
+func Env() string { return readEnv() }
+
+func readEnv() string {
+	return os.Getenv("HOME") // want "os.Getenv"
+}
+
+// Roll draws from the ambient math/rand stream through a helper.
+func Roll() int { return draw() }
+
+func draw() int {
+	return rand.Intn(6) // want "math/rand"
+}
+
+// Clock abstracts a time source; dispatch must fan out to the
+// wall-clock implementation.
+type Clock interface{ Tick() int64 }
+
+type wallClock struct{}
+
+func (wallClock) Tick() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+type fixedClock struct{}
+
+func (fixedClock) Tick() int64 { return 42 }
+
+// Dispatch calls through the interface; only wallClock's Tick is a
+// sink, and it is reached by the dispatch fan-out.
+func Dispatch(c Clock) int64 { return c.Tick() }
+
+// MethodValue leaks the sink through a method value handed to a
+// caller; the reference edge keeps it reachable.
+func MethodValue() func() int64 {
+	var w wallClock
+	return w.Tick
+}
+
+// Emit writes map entries in iteration order through a helper — a
+// map-order sink reached transitively.
+func Emit(m map[string]int, out chan<- string) { emitAll(m, out) }
+
+func emitAll(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k // want "map-order"
+	}
+}
+
+// orphan is never reachable from any entry point: its wall-clock read
+// must NOT be flagged by detflow.
+func orphan() int64 {
+	return time.Now().UnixNano()
+}

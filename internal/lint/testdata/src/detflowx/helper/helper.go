@@ -1,0 +1,25 @@
+// Package helper is half of the cross-package detflow fixture: the
+// wall-clock sink hides in an unexported implementation of an
+// interface, so it is only reachable through dispatch from the sim
+// package next door.
+package helper
+
+import "time"
+
+// Source yields timestamps.
+type Source interface {
+	Next() int64
+}
+
+// New returns the wall-clock source.
+func New() Source {
+	return wall{}
+}
+
+type wall struct{}
+
+// Next reads the wall clock — the sink. No exported entry in this
+// package reaches it directly.
+func (wall) Next() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+// Package sim is the entry half of the cross-package detflow fixture:
+// its exported function reaches helper's hidden wall-clock sink only
+// through interface dispatch across the package boundary.
+package sim
+
+import "repro/internal/lint/testdata/src/detflowx/helper"
+
+// Step drives the source through the interface.
+func Step() int64 {
+	src := helper.New()
+	return src.Next()
+}

@@ -1,6 +1,7 @@
 // Package ignoredir is a lint fixture for the //lint:ignore directive
 // machinery itself: suppression on the same line and the line above,
-// multi-rule directives, and the malformed shapes reported under the
+// multi-rule directives, directives anchored to the opening line of a
+// multi-line statement, and the malformed shapes reported under the
 // rule ID "ignore".
 package ignoredir
 
@@ -38,4 +39,38 @@ func BadTooFar(a, b float64) bool {
 	//lint:ignore floatcmp fixture: too far away
 
 	return a == b // want "floating-point == comparison"
+}
+
+// GoodMultiLineAnchor: a directive on the opening line of a multi-line
+// statement covers findings on its continuation lines — the comparison
+// here sits two lines below the directive, reachable only through the
+// statement anchor.
+func GoodMultiLineAnchor(a, b float64) bool {
+	xs := []bool{ //lint:ignore floatcmp fixture: directive anchors the whole statement
+		false,
+		a == b,
+	}
+	return xs[1]
+}
+
+// GoodMultiLineAbove: a directive on the line above the opening line
+// covers continuation lines the same way.
+func GoodMultiLineAbove(a, b float64) bool {
+	//lint:ignore floatcmp fixture: directive above the opening line
+	xs := []bool{
+		false,
+		a != b,
+	}
+	return xs[1]
+}
+
+// BadBlockNotAnchored: block statements are not anchors — a directive
+// on the line above an if header must not blanket the body.
+func BadBlockNotAnchored(a, b float64) bool {
+	//lint:ignore floatcmp fixture: if headers must not blanket their body
+	if a > 0 {
+		_ = b
+		return a == b // want "floating-point == comparison"
+	}
+	return false
 }

@@ -1,0 +1,73 @@
+// Package nilsafe is the fixture for the //atm:nilsafe handle
+// contract: exported pointer-receiver methods of annotated types must
+// guard the receiver against nil before touching receiver state.
+package nilsafe
+
+// Handle is a nil-safe handle: the nil *Handle is the disabled form.
+//
+//atm:nilsafe
+type Handle struct {
+	n    int
+	next *Handle
+}
+
+// Good guards first — the canonical shape.
+func (h *Handle) Good() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Bad touches a field with no guard at all.
+func (h *Handle) Bad() int {
+	return h.n // want "touches field n before a nil-receiver guard"
+}
+
+// Late guards only after the first access — too late.
+func (h *Handle) Late() int {
+	v := h.n // want "touches field n before a nil-receiver guard"
+	if h == nil {
+		return 0
+	}
+	return v
+}
+
+// Chained calls another pointer-receiver method unguarded: allowed,
+// the callee guards itself.
+func (h *Handle) Chained() int {
+	return h.Good()
+}
+
+// Vacuous never touches receiver state.
+func (h *Handle) Vacuous() int { return 42 }
+
+// bump is unexported: internal helpers run under the caller's guard.
+func (h *Handle) bump() { h.n++ }
+
+// Probe is a second annotated handle exercising the dereference and
+// value-receiver-method access kinds.
+//
+//atm:nilsafe
+type Probe struct {
+	id int
+}
+
+// label has a value receiver: calling it dereferences the handle.
+func (p Probe) label() int { return p.id }
+
+// Deref calls a value-receiver method unguarded.
+func (p *Probe) Deref() int {
+	return p.label() // want "value-receiver method label"
+}
+
+// Clone dereferences the receiver unguarded.
+func (p *Probe) Clone() Probe {
+	return *p // want "touches dereference before a nil-receiver guard"
+}
+
+// Plain is not annotated: unguarded access is fine here.
+type Plain struct{ n int }
+
+// Get needs no guard on an unannotated type.
+func (p *Plain) Get() int { return p.n }

@@ -69,6 +69,8 @@ func (k kind) String() string {
 // exports nothing. Construct with NewRegistry to enable collection.
 // Registration and export lock internally; handle updates are atomic,
 // so concurrent sessions (the FSP server) may share one registry.
+//
+//atm:nilsafe
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -270,9 +272,13 @@ func sameBounds(a, b []float64) bool {
 
 // Counter is a monotone event count. All methods are safe on nil (the
 // disabled handle) and on concurrent use.
+//
+//atm:nilsafe
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//atm:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -280,6 +286,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n; non-positive n is ignored (counters are monotone).
+//
+//atm:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil && n > 0 {
 		c.v.Add(n)
@@ -287,6 +295,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count (0 on the nil handle).
+//
+//atm:hotpath
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -295,9 +305,13 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a settable instantaneous value.
+//
+//atm:nilsafe
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
+//
+//atm:hotpath
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -305,6 +319,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adjusts the gauge by d.
+//
+//atm:hotpath
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -319,6 +335,8 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Value returns the current value (0 on the nil handle).
+//
+//atm:hotpath
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
@@ -328,6 +346,8 @@ func (g *Gauge) Value() float64 {
 
 // Histogram is a fixed-bucket distribution. Buckets are cumulative in
 // the exposition, non-cumulative internally.
+//
+//atm:nilsafe
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
@@ -340,6 +360,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//atm:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -360,6 +382,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // Count returns the number of observations (0 on the nil handle).
+//
+//atm:hotpath
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
@@ -368,6 +392,8 @@ func (h *Histogram) Count() int64 {
 }
 
 // Sum returns the sum of observations (0 on the nil handle).
+//
+//atm:hotpath
 func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0

@@ -24,6 +24,8 @@ import (
 // core label, protocol session, or scheduler queue. Track ids are
 // assigned in first-use order and announced with thread_name metadata
 // events, so the viewer shows the lane names.
+//
+//atm:nilsafe
 type Tracer struct {
 	mu     sync.Mutex
 	nowUS  int64
@@ -52,6 +54,8 @@ func NewTracer() *Tracer {
 // time. Moving backwards is ignored — the clock is monotone so the
 // emitted file is deterministic even when instrumentation layers
 // disagree about time.
+//
+//atm:hotpath
 func (t *Tracer) SetTimeUS(us int64) {
 	if t == nil {
 		return
@@ -82,6 +86,8 @@ func (t *Tracer) tidFor(track string) int64 {
 
 // Span is one open interval; close it with End. A nil *Span (from a
 // disabled tracer) accepts Arg and End as no-ops.
+//
+//atm:nilsafe
 type Span struct {
 	t         *Tracer
 	name, cat string
@@ -104,6 +110,8 @@ func (t *Tracer) Begin(cat, name, track string) *Span {
 
 // Arg attaches a key/value argument to the span; returns the span for
 // chaining.
+//
+//atm:hotpath
 func (sp *Span) Arg(k, v string) *Span {
 	if sp == nil {
 		return nil
@@ -114,6 +122,8 @@ func (sp *Span) Arg(k, v string) *Span {
 
 // End closes the span at the current trace time (advancing the logical
 // clock one tick) and emits it.
+//
+//atm:hotpath
 func (sp *Span) End() {
 	if sp == nil {
 		return

@@ -75,6 +75,8 @@ func (p Params) Validate() error {
 // SteadyVoltage returns the on-chip supply under total chip power P:
 // V = Vnom − R·I with I ≈ P/Vnom. This is the loadline the Eq. 1
 // frequency predictor linearizes.
+//
+//atm:hotpath
 func (p Params) SteadyVoltage(power units.Watt) units.Volt {
 	i := float64(power) / float64(p.VNom)
 	v := float64(p.VNom) - p.LoadlineOhms*i
@@ -105,6 +107,8 @@ func (p Params) CalibrateVRM(target units.Volt, refPower units.Watt) Params {
 // underdamped). Negative values are droops. The deviation decays to the
 // new DC point, which the loadline term handles separately; this is the
 // AC part only.
+//
+//atm:hotpath
 func (p Params) StepResponse(deltaI float64, t float64) units.Volt {
 	if t < 0 {
 		return 0
@@ -120,6 +124,8 @@ func (p Params) StepResponse(deltaI float64, t float64) units.Volt {
 
 // FirstDroopPeak returns the magnitude of the worst (first) droop for a
 // synchronized current step of deltaI amperes.
+//
+//atm:hotpath
 func (p Params) FirstDroopPeak(deltaI float64) units.Volt {
 	// Peak of the normalized response occurs at wd·t = atan(√(1−ζ²)/ζ).
 	zeta := p.DampingZeta
@@ -131,6 +137,8 @@ func (p Params) FirstDroopPeak(deltaI float64) units.Volt {
 // UncoveredFraction returns the share of a droop of the given duration
 // that the ATM loop cannot track: droops much faster than the loop
 // response are fully uncovered, much slower ones fully covered.
+//
+//atm:hotpath
 func (p Params) UncoveredFraction(droopNs float64) float64 {
 	if droopNs <= 0 {
 		return 1
@@ -143,6 +151,8 @@ func (p Params) UncoveredFraction(droopNs float64) float64 {
 // their current simultaneously (the voltage-virus mechanism of
 // Sec. VII-A): aligned steps superpose at the shared grid with
 // diminishing — but never vanishing — returns.
+//
+//atm:hotpath
 func SyncFactor(n int) float64 {
 	if n <= 1 {
 		return 1

@@ -263,6 +263,8 @@ func (c *CoreProfile) DeterministicLimit(score float64) int {
 // given workload correctly at the given reduction? The per-trial
 // requirement is the nominal guard inflated by a half-normal tail —
 // the worst uncovered droop seen during the run.
+//
+//atm:hotpath
 func (c *CoreProfile) SurvivesTrial(reduction int, score float64, src *rng.Source) (bool, error) {
 	g, err := c.GuardPs(reduction)
 	if err != nil {
