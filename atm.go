@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/lifetime"
 	"repro/internal/manage"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -117,6 +118,17 @@ type (
 	// order — byte-identical for every worker count.
 	FleetResult = fleet.CampaignResult
 
+	// LifetimeOptions configures a lifetime drift simulation: horizon,
+	// seed, drift parameters, sentinel calibration, control arm.
+	LifetimeOptions = lifetime.Options
+	// LifetimeResult is a lifetime simulation's outcome: the safety
+	// verdict, intervention counts, per-core journeys and the timeline.
+	LifetimeResult = lifetime.Result
+	// LifetimeEvent is one timeline entry of a lifetime simulation.
+	LifetimeEvent = lifetime.Event
+	// DriftParams shapes the NBTI/HCI aging and ambient model.
+	DriftParams = lifetime.Params
+
 	// Manager is the managed-ATM scheduler.
 	Manager = manage.Manager
 	// Governor selects the CPM configuration policy.
@@ -167,6 +179,16 @@ const (
 	FleetCharacterize = fleet.KindCharacterize
 	FleetTune         = fleet.KindTune
 	FleetMonteCarlo   = fleet.KindMonteCarlo
+	FleetLifetime     = fleet.KindLifetime
+)
+
+// Lifetime timeline event kinds (internal/lifetime).
+const (
+	LifetimeEventFailure    = lifetime.EventFailure
+	LifetimeEventStepBack   = lifetime.EventStepBack
+	LifetimeEventRetune     = lifetime.EventRetune
+	LifetimeEventStatic     = lifetime.EventStatic
+	LifetimeEventQuarantine = lifetime.EventQuarantine
 )
 
 // Dynamic scheduling policies (internal/sched).
@@ -305,6 +327,22 @@ func TuneCampaign(n int, start uint64, rollback int, faultProfile string, faultS
 // servers (trials 0 = the methodology default).
 func CharacterizeCampaign(n int, start uint64, trials int, faultProfile string, faultSeed uint64) *FleetCampaign {
 	return fleet.CharacterizeSweep(n, start, trials, faultProfile, faultSeed)
+}
+
+// LifetimeCampaign builds a lifetime drift sweep over n servers
+// (silicon seed 0 = the reference server; years 0 = three).
+func LifetimeCampaign(n int, start uint64, years int, sentinelOff bool) *FleetCampaign {
+	return fleet.LifetimeSweep(n, start, years, sentinelOff)
+}
+
+// SimulateLifetime ages a fine-tuned server through years of simulated
+// field operation: seeded NBTI/HCI drift erodes the tuned margins while
+// the closed-loop margin sentinel (unless disabled) watches CPM slack
+// telemetry and walks its escalation ladder — step-back, bounded online
+// re-tune, static fallback, quarantine — to keep the configuration
+// safe. The result is a pure function of (profile, options).
+func SimulateLifetime(profile *SiliconProfile, o LifetimeOptions) (*LifetimeResult, error) {
+	return lifetime.Run(profile, o)
 }
 
 // ReferenceTableIRow returns the paper's published Table I limits for a

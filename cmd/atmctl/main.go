@@ -10,15 +10,21 @@
 //	atmctl schedule -critical squeezenet -background lu_cb [-scenario managed-balanced] [-qos 0.10]
 //	atmctl sweep -core P0C3
 //	atmctl fleet -kind montecarlo -n 32 -workers 8 [-cache-dir .fleet] [-resume]
+//	atmctl lifetime [-years 3] [-seed 1] [-sentinel-off] [-cache-dir .fleet] [-resume]
 //	atmctl transient [-chip P0] [-steps 2000] [-stress]
 //	atmctl status
 //
-// characterize, tune, schedule, sweep and fleet accept -metrics-out
-// and -trace-out to export the run's deterministic metrics snapshot
-// and Perfetto trace.
+// characterize, tune, schedule, sweep, fleet and lifetime accept
+// -metrics-out and -trace-out to export the run's deterministic
+// metrics snapshot and Perfetto trace.
 //
 // Add -generated <seed> to any subcommand to run on Monte-Carlo silicon
 // instead of the paper-calibrated reference server.
+//
+// Exit codes: 0 success; 1 hard failure; 2 usage error; 3 completed
+// with degraded results the operator must not miss — quarantined
+// cores, failed fleet jobs, or an UNSAFE lifetime verdict — announced
+// in a one-line stderr summary.
 package main
 
 import (
@@ -36,10 +42,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches a subcommand and maps its outcome to the process exit
+// code: 0 success, 1 hard failure, 2 usage, 3 partial (the command
+// completed and rendered its results, but something the operator must
+// not miss degraded — quarantined cores, failed jobs, an UNSAFE
+// verdict). Scripts and CI branch on the distinction.
+func run(argv []string) int {
+	if len(argv) < 1 {
 		usage()
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "characterize":
@@ -52,29 +68,66 @@ func main() {
 		err = cmdSweep(args)
 	case "fleet":
 		err = cmdFleet(args)
+	case "lifetime":
+		err = cmdLifetime(args)
 	case "transient":
 		err = cmdTransient(args)
 	case "status":
 		err = cmdStatus(args)
 	default:
 		usage()
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atmctl:", err)
-		os.Exit(1)
+	if err == nil {
+		return 0
 	}
+	// The FlagSet already printed -h help or the parse diagnostic.
+	var ue usageError
+	if errors.Is(err, flag.ErrHelp) || errors.As(err, &ue) {
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "atmctl:", err)
+	var pe partialError
+	if errors.As(err, &pe) {
+		return 3
+	}
+	return 1
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|transient|status> [flags]
+	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|lifetime|transient|status> [flags]
 run "atmctl <subcommand> -h" for flags`)
-	os.Exit(2)
+}
+
+// usageError marks a bad invocation (exit 2). The FlagSet has already
+// printed the diagnostic, so run only maps the code.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// parseFlags parses with the usage classification attached.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	return nil
+}
+
+// partialError marks a run whose results rendered fine but carried a
+// degraded outcome (exit 3).
+type partialError struct{ msg string }
+
+func (e partialError) Error() string { return e.msg }
+
+func partialf(format string, a ...any) error {
+	return partialError{msg: fmt.Sprintf(format, a...)}
 }
 
 func cmdStatus(args []string) error {
-	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
 	build := machineFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := build()
@@ -196,13 +249,13 @@ func writeFile(path string, write func(*os.File) error) error {
 }
 
 func cmdCharacterize(args []string) error {
-	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
 	trials := fs.Int("trials", 10, "repeated trials per (core, workload)")
 	seed := fs.Uint64("seed", 1, "trial seed")
 	build := machineFlag(fs)
 	arm := faultFlag(fs)
 	attach, flush := obsFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := build()
@@ -248,16 +301,22 @@ func cmdCharacterize(args []string) error {
 		t.Note = fmt.Sprintf("faults armed: %s (seed %d); %d core(s) quarantined",
 			inj.Profile(), inj.Seed(), quarantined)
 	}
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if quarantined > 0 {
+		return partialf("characterize: %d core(s) quarantined", quarantined)
+	}
+	return nil
 }
 
 func cmdTune(args []string) error {
-	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
 	rollback := fs.Int("rollback", 0, "safety steps below the stress-test limit")
 	build := machineFlag(fs)
 	arm := faultFlag(fs)
 	attach, flush := obsFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := build()
@@ -300,11 +359,17 @@ func cmdTune(args []string) error {
 		t.Note += fmt.Sprintf("; faults armed: %s (seed %d); quarantined: %d",
 			inj.Profile(), inj.Seed(), len(dep.Quarantined()))
 	}
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if q := len(dep.Quarantined()); q > 0 {
+		return partialf("tune: %d core(s) quarantined", q)
+	}
+	return nil
 }
 
 func cmdSchedule(args []string) error {
-	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
 	critName := fs.String("critical", "squeezenet", "critical (latency-sensitive) workload")
 	bgName := fs.String("background", "lu_cb", "background co-runner")
 	scen := fs.String("scenario", "managed-balanced",
@@ -313,7 +378,7 @@ func cmdSchedule(args []string) error {
 	governor := fs.String("governor", "default", "default | conservative | aggressive")
 	build := machineFlag(fs)
 	attach, flush := obsFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	crit, err := atm.WorkloadByName(*critName)
@@ -383,11 +448,11 @@ func cmdSchedule(args []string) error {
 }
 
 func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	label := fs.String("core", "P0C3", "core to sweep")
 	build := machineFlag(fs)
 	attach, flush := obsFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := build()
@@ -433,7 +498,7 @@ func cmdSweep(args []string) error {
 }
 
 func cmdFleet(args []string) error {
-	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	kind := fs.String("kind", "montecarlo", "campaign kind: montecarlo | characterize | tune")
 	n := fs.Int("n", 8, "number of jobs (generated servers)")
 	workers := fs.Int("workers", 4, "worker pool bound (output is identical for every value)")
@@ -451,7 +516,7 @@ func cmdFleet(args []string) error {
 		"watchdog: per-job trial budget before the job is failed as stuck (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the merged campaign result as JSON instead of a table")
 	attach, flush := obsFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -500,7 +565,7 @@ func cmdFleet(args []string) error {
 		return err
 	}
 	if failed := res.Failed(); len(failed) > 0 {
-		return fmt.Errorf("fleet: %d job(s) failed: %v", len(failed), failed)
+		return partialf("fleet: %d job(s) failed: %v", len(failed), failed)
 	}
 	return nil
 }
@@ -589,15 +654,196 @@ func renderFleet(camp *atm.FleetCampaign, res *atm.FleetResult) error {
 	return t.Render(os.Stdout)
 }
 
+func cmdLifetime(args []string) error {
+	fs := flag.NewFlagSet("lifetime", flag.ContinueOnError)
+	years := fs.Int("years", 3, "simulated horizon in years")
+	seed := fs.Uint64("seed", 1, "master seed (drift, ambient, trials, re-tunes); job i uses seed+i")
+	n := fs.Int("n", 1, "number of servers to age")
+	silStart := fs.Uint64("silicon-start", 0, "first silicon seed (0 = paper reference server)")
+	workers := fs.Int("workers", 4, "fleet worker bound (output is identical for every value)")
+	sentinelOff := fs.Bool("sentinel-off", false, "disable the margin sentinel: the control arm that shows unsupervised drift")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache + checkpoint manifest directory")
+	resume := fs.Bool("resume", false, "continue a killed run from its checkpoint in -cache-dir")
+	jsonOut := fs.Bool("json", false, "emit the merged campaign result as JSON instead of tables")
+	attach, flush := obsFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	// The runs are hermetic fleet jobs: cached, kill-safe, and merged in
+	// canonical order, so a 3-year simulation interrupted mid-campaign
+	// resumes without replaying finished servers.
+	camp := &atm.FleetCampaign{Name: fmt.Sprintf("lifetime-n%d-y%d-s%d", *n, *years, *seed)}
+	if *sentinelOff {
+		camp.Name += "-nosentinel"
+	}
+	for i := 0; i < *n; i++ {
+		camp.Jobs = append(camp.Jobs, atm.FleetJob{
+			ID:          fmt.Sprintf("lifetime-%04d", i),
+			Kind:        atm.FleetLifetime,
+			SiliconSeed: *silStart + uint64(i),
+			Seed:        *seed + uint64(i),
+			Years:       *years,
+			SentinelOff: *sentinelOff,
+		})
+	}
+
+	reg, tr := attach(nil)
+	res, err := atm.RunCampaign(camp, atm.FleetOptions{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+		Resume:   *resume,
+		Obs:      reg,
+		Trace:    tr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lifetime: campaign %s: %d job(s), %d cached, %d failed\n",
+		camp.Name, len(res.Results), res.CachedCount(), len(res.Failed()))
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := renderLifetime(res); err != nil {
+		return err
+	}
+
+	unsafe, quarantined := 0, 0
+	for _, r := range res.Results {
+		if r.Err != "" {
+			continue
+		}
+		d, err := r.Lifetime()
+		if err != nil {
+			return err
+		}
+		if !d.Lifetime.Safe {
+			unsafe++
+		}
+		quarantined += d.Lifetime.Quarantines
+	}
+	switch failed := res.Failed(); {
+	case len(failed) > 0:
+		return partialf("lifetime: %d job(s) failed: %v", len(failed), failed)
+	case unsafe > 0:
+		return partialf("lifetime: %d server(s) UNSAFE over %d year(s)", unsafe, *years)
+	case quarantined > 0:
+		return partialf("lifetime: %d core(s) quarantined", quarantined)
+	}
+	return nil
+}
+
+// The rendered timeline shows every sentinel intervention (there are
+// at most a ladder's worth per core) but caps the timing-failure
+// stream, which a sentinel-off run floods; the summary counts stay
+// exact either way.
+const failureRows = 16
+
+// renderLifetime prints the campaign verdict table, then each server's
+// core journeys and intervention/failure timeline.
+func renderLifetime(res *atm.FleetResult) error {
+	sum := &report.Table{
+		Title: "Lifetime drift simulation",
+		Header: []string{"job", "silicon", "verdict", "trials", "failures",
+			"step-backs", "retunes", "statics", "quarantined"},
+	}
+	details := make([]*atm.LifetimeResult, 0, len(res.Results))
+	for _, r := range res.Results {
+		if r.Err != "" {
+			sum.AddRow(r.JobID, "", "failed: "+r.Err, "", "", "", "", "", "")
+			continue
+		}
+		d, err := r.Lifetime()
+		if err != nil {
+			return err
+		}
+		lt := d.Lifetime
+		sum.AddRow(r.JobID, fmt.Sprintf("%d", d.SiliconSeed), lt.Verdict(),
+			fmt.Sprintf("%d", lt.Trials), fmt.Sprintf("%d", lt.Failures),
+			fmt.Sprintf("%d", lt.StepBacks), fmt.Sprintf("%d", lt.Retunes),
+			fmt.Sprintf("%d", lt.Statics), fmt.Sprintf("%d", lt.Quarantines))
+		details = append(details, lt)
+	}
+	if err := sum.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	for _, lt := range details {
+		cores := &report.Table{
+			Title: fmt.Sprintf("Core journeys over %d year(s) (%d epochs)", lt.Years, lt.Epochs),
+			Header: []string{"core", "reduction", "margin (σ)", "aging",
+				"failures", "step-backs", "retunes", "state"},
+		}
+		for _, c := range lt.Cores {
+			state := "atm"
+			switch {
+			case c.Quarantined:
+				state = "quarantined"
+			case c.Static:
+				state = "static"
+			}
+			cores.AddRow(c.Core,
+				fmt.Sprintf("%d → %d", c.StartReduction, c.EndReduction),
+				fmt.Sprintf("%.2f → %.2f", c.StartMargin, c.EndMargin),
+				report.Pct(c.AgeFrac), fmt.Sprintf("%d", c.Failures),
+				fmt.Sprintf("%d", c.StepBacks), fmt.Sprintf("%d", c.Retunes), state)
+		}
+		if err := cores.Render(os.Stdout); err != nil {
+			return err
+		}
+		if len(lt.Timeline) == 0 {
+			continue
+		}
+		tl := &report.Table{
+			Title:  "Timeline",
+			Header: []string{"epoch", "day", "core", "event", "reduction", "detail"},
+		}
+		failShown, failSkipped := 0, 0
+		for _, ev := range lt.Timeline {
+			if ev.Kind == atm.LifetimeEventFailure {
+				if failShown == failureRows {
+					failSkipped++
+					continue
+				}
+				failShown++
+			}
+			tl.AddRow(fmt.Sprintf("%d", ev.Epoch), fmt.Sprintf("%.1f", ev.Hours/24),
+				ev.Core, ev.Kind, fmt.Sprintf("%d", ev.Reduction), ev.Detail)
+		}
+		if failSkipped > 0 || lt.TimelineTruncated {
+			note := ""
+			if failSkipped > 0 {
+				note = fmt.Sprintf("… %d more recorded failure(s)", failSkipped)
+			}
+			if lt.TimelineTruncated {
+				if note != "" {
+					note += "; "
+				}
+				note += "recording capped, counts above are exact"
+			}
+			tl.Note = note
+		}
+		if err := tl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func cmdTransient(args []string) error {
-	fs := flag.NewFlagSet("transient", flag.ExitOnError)
+	fs := flag.NewFlagSet("transient", flag.ContinueOnError)
 	chipLabel := fs.String("chip", "P0", "chip to step")
 	steps := fs.Int("steps", 2000, "control intervals")
 	stress := fs.Bool("stress", false, "run x264 on every core instead of idle")
 	seed := fs.Uint64("seed", 1, "noise seed")
 	csvPath := fs.String("csv", "", "write the full telemetry trace to this file")
 	build := machineFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := build()

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunExitCodes pins the exit-code contract scripts and CI branch
+// on: 0 success, 1 hard failure, 2 usage, 3 partial (quarantined
+// cores, failed jobs, UNSAFE lifetime verdict).
+func TestRunExitCodes(t *testing.T) {
+	// The subcommands render straight to os.Stdout; keep the test log
+	// readable. Diagnostics still reach os.Stderr.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errdrop test teardown of the /dev/null handle
+	defer devnull.Close()
+	stdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = stdout }()
+
+	tests := []struct {
+		name string
+		argv []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"bad flag", []string{"status", "-no-such-flag"}, 2},
+		{"help", []string{"tune", "-h"}, 2},
+		{"status ok", []string{"status"}, 0},
+		{"hard failure", []string{"sweep", "-core", "P9C9"}, 1},
+		{"quarantined cores are partial", []string{"tune", "-fault-profile", "broken-core"}, 3},
+		{"lifetime safe", []string{"lifetime", "-years", "1"}, 0},
+		{"lifetime unsafe is partial", []string{"lifetime", "-years", "3", "-sentinel-off"}, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.argv); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d", tc.argv, got, tc.want)
+			}
+		})
+	}
+}

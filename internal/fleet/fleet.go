@@ -59,12 +59,16 @@ const (
 	// deploy it, and report the variation the paper measures on its
 	// two chips (idle-limit spread, speed differential, fastest core).
 	KindMonteCarlo Kind = "montecarlo"
+	// KindLifetime simulates years of field operation on a fine-tuned
+	// server: NBTI/HCI drift erodes the tuned margins while the closed-
+	// loop sentinel (unless disabled) keeps the configuration safe.
+	KindLifetime Kind = "lifetime"
 )
 
 // validKind reports whether k is a supported job kind.
 func validKind(k Kind) bool {
 	switch k {
-	case KindCharacterize, KindTune, KindMonteCarlo:
+	case KindCharacterize, KindTune, KindMonteCarlo, KindLifetime:
 		return true
 	}
 	return false
@@ -95,6 +99,12 @@ type Job struct {
 	FaultProfile string `json:"fault_profile,omitempty"`
 	// FaultSeed seeds the fault streams (0 = 1, the injector default).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Years is the lifetime job's simulated horizon (0 = the stage
+	// default of three years).
+	Years int `json:"years,omitempty"`
+	// SentinelOff disables the lifetime job's margin sentinel — the
+	// control arm that demonstrates drift without supervision.
+	SentinelOff bool `json:"sentinel_off,omitempty"`
 }
 
 // specVersion versions the job hash: bump it when a change to the job

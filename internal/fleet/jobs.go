@@ -8,6 +8,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/fault"
 	"repro/internal/guard"
+	"repro/internal/lifetime"
 	"repro/internal/silicon"
 	"repro/internal/tuning"
 )
@@ -72,6 +73,13 @@ type CharacterizeResult struct {
 	Rows        []CharactRow `json:"rows"`
 }
 
+// LifetimeResult is a lifetime job's payload: the full simulation
+// outcome plus the silicon provenance.
+type LifetimeResult struct {
+	SiliconSeed uint64           `json:"silicon_seed"`
+	Lifetime    *lifetime.Result `json:"lifetime"`
+}
+
 // MonteCarlo decodes a montecarlo result payload.
 func (r Result) MonteCarlo() (MonteCarloResult, error) {
 	var out MonteCarloResult
@@ -86,6 +94,15 @@ func (r Result) Tune() (TuneResult, error) {
 	var out TuneResult
 	if err := r.decode(KindTune, &out); err != nil {
 		return TuneResult{}, err
+	}
+	return out, nil
+}
+
+// Lifetime decodes a lifetime result payload.
+func (r Result) Lifetime() (LifetimeResult, error) {
+	var out LifetimeResult
+	if err := r.decode(KindLifetime, &out); err != nil {
+		return LifetimeResult{}, err
 	}
 	return out, nil
 }
@@ -143,6 +160,11 @@ func runJob(j Job, trialBudget int64) (json.RawMessage, error) {
 		payload, err = runTune(j, m)
 	case KindCharacterize:
 		payload, err = runCharacterize(j, m)
+	case KindLifetime:
+		// Lifetime clones the profile and builds its own machine, so
+		// the trial watchdog armed on m above does not meter it; the
+		// simulation is bounded by its finite epoch count instead.
+		payload, err = runLifetime(j, profile)
 	default:
 		err = fmt.Errorf("fleet: job %s: unknown kind %q", j.ID, j.Kind)
 	}
@@ -240,6 +262,20 @@ func runTune(j Job, m *chip.Machine) (TuneResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// runLifetime simulates the job's horizon of field operation on the
+// (possibly manufactured) server.
+func runLifetime(j Job, profile *silicon.ServerProfile) (LifetimeResult, error) {
+	res, err := lifetime.Run(profile, lifetime.Options{
+		Years:       j.Years,
+		Seed:        j.Seed,
+		SentinelOff: j.SentinelOff,
+	})
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	return LifetimeResult{SiliconSeed: j.SiliconSeed, Lifetime: res}, nil
 }
 
 // runCharacterize runs the methodology and records the Table I rows.

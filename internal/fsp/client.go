@@ -402,6 +402,39 @@ func (c *Client) FreqMHz(core string) (float64, error) {
 	return v, nil
 }
 
+// CoreMargin is one core's CPM slack margin as reported by the
+// "margins" verb: headroom to the worst-case workload envelope in
+// per-trial sigmas at the core's current reduction.
+type CoreMargin struct {
+	Core  string
+	Sigma float64
+}
+
+// Margins reads every core's CPM slack margin in one round trip, in
+// the server's register address order. The read rides the full
+// resilience envelope: transient telemetry upsets and garbled
+// transport lines are retried with re-sync like any other command.
+func (c *Client) Margins() ([]CoreMargin, error) {
+	out, err := c.Exec("margins")
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(out)
+	ms := make([]CoreMargin, 0, len(fields))
+	for _, f := range fields {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fsp: bad margins payload %q", out)
+		}
+		v, perr := strconv.ParseFloat(val, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("fsp: bad margins payload %q", out)
+		}
+		ms = append(ms, CoreMargin{Core: name, Sigma: v})
+	}
+	return ms, nil
+}
+
 // Cores lists the server's core labels.
 func (c *Client) Cores() ([]string, error) {
 	out, err := c.Exec("cores")

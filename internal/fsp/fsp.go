@@ -20,6 +20,7 @@ package fsp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/chip"
@@ -37,6 +38,7 @@ const (
 	regGated        = 0x3 // RW: 1 = power-gated
 	regFreq         = 0x8 // RO: settled frequency (MHz)
 	regPower        = 0x9 // RO: core power (mW)
+	regMargin       = 0xA // RO: CPM slack margin (milli-sigma, two's complement)
 
 	// Chip-level registers (core field = 0xF).
 	regChipPower  = 0x0 // RO: chip power (mW)
@@ -184,6 +186,11 @@ func (c *Controller) Getscom(a Addr) (uint64, error) {
 			return 0, err
 		}
 		return uint64(float64(cs.Power) * 1000), nil
+	case regMargin:
+		if err := c.faultRead(a); err != nil {
+			return 0, err
+		}
+		return uint64(marginMilliSigma(core)), nil
 	default:
 		return 0, fmt.Errorf("fsp: unknown core register %#x", a.fn())
 	}
@@ -261,7 +268,7 @@ func (c *Controller) Putscom(a Addr, v uint64) error {
 		default:
 			return fmt.Errorf("fsp: gate %d not in {0,1}", v)
 		}
-	case regFreq, regPower:
+	case regFreq, regPower, regMargin:
 		return fmt.Errorf("fsp: register %#x is read-only", a.fn())
 	default:
 		return fmt.Errorf("fsp: unknown core register %#x", a.fn())
@@ -269,6 +276,37 @@ func (c *Controller) Putscom(a Addr, v uint64) error {
 	c.stale = true
 	return nil
 }
+
+// marginMilliSigma computes a core's CPM slack margin register value:
+// how many per-trial sigmas of headroom the core's guarded path keeps
+// above the worst-case workload envelope (stress score 1) at its
+// current reduction, in milli-sigmas, two's-complement encoded so an
+// aged core can report a negative margin. The margin is the quantity
+// the paper's safety criterion bounds (limitHeadroomSigmas in
+// internal/silicon): a freshly fine-tuned core sits at ≥ +4500, a core
+// whose silicon drifted past its envelope goes negative.
+func marginMilliSigma(core *chip.Core) int64 {
+	p := core.Profile
+	g, err := p.GuardPs(core.Reduction())
+	if err != nil {
+		// The programmed reduction was validated on the way in; an error
+		// here is unreachable, but a register read must not panic.
+		return 0
+	}
+	req := float64(p.RequiredGuardPs(1))
+	if req <= 0 || p.SigmaFrac <= 0 {
+		return 0
+	}
+	sigma := (float64(g)/req - 1) / p.SigmaFrac
+	return int64(math.Round(sigma * 1000))
+}
+
+// Invalidate marks the cached telemetry solve stale. Callers that
+// mutate the machine's environment out of band — the lifetime drift
+// overlay rewriting silicon parameters, ambient temperature, or VRM
+// constants under the controller — must invalidate so the next
+// telemetry read re-solves against the mutated world.
+func (c *Controller) Invalidate() { c.stale = true }
 
 // CoreAddrByLabel resolves a core label ("P0C3") to its register block
 // base parameters.

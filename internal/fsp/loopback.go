@@ -1,0 +1,66 @@
+package fsp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+)
+
+// Loopback is a synchronous in-process transport that connects a
+// Client directly to a Session with no goroutines, pipes, or wall
+// time: each Write parses complete command lines and executes them
+// immediately, appending the response lines to an internal buffer the
+// next Read drains. Because execution happens inline on the caller's
+// goroutine, a client driven over a Loopback is fully deterministic —
+// the closed-loop consumers (the lifetime margin sentinel, tests) get
+// operator-plane semantics, retries and all, without any scheduling.
+//
+// A Loopback composes with the fault plane: wrap it with
+// Injector.WrapReadWriter to make the *link* drop or garble response
+// lines while the session underneath stays healthy.
+type Loopback struct {
+	s *Session
+	// pending accumulates written bytes until a full line arrives.
+	pending []byte
+	// buf holds response lines not yet read back.
+	buf bytes.Buffer
+}
+
+// NewLoopback wraps a session in a synchronous transport.
+func NewLoopback(s *Session) *Loopback { return &Loopback{s: s} }
+
+// Write feeds command bytes in. Every complete line is executed
+// synchronously through Session.Exec and its response buffered for
+// Read. Partial trailing lines are held until their newline arrives.
+func (l *Loopback) Write(p []byte) (int, error) {
+	l.pending = append(l.pending, p...)
+	for {
+		nl := bytes.IndexByte(l.pending, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		line := strings.TrimSpace(string(l.pending[:nl]))
+		l.pending = l.pending[nl+1:]
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			// Blank lines and comments are ignored, matching Serve.
+		case line == "quit":
+			// "quit" never reaches Exec in the served protocol; answer it
+			// here the way the serve loop does.
+			l.buf.WriteString("ok bye\n")
+		default:
+			l.buf.WriteString(l.s.Exec(line))
+			l.buf.WriteByte('\n')
+		}
+	}
+}
+
+// Read drains buffered response lines. With nothing buffered it
+// reports io.EOF; a retrying client treats that as a lost response,
+// re-syncs, and the next Write replenishes the buffer.
+func (l *Loopback) Read(p []byte) (int, error) {
+	if l.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return l.buf.Read(p)
+}

@@ -1,0 +1,109 @@
+package fsp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// loopbackClient builds a client over a synchronous loopback session on
+// a reference machine.
+func loopbackClient(t *testing.T, opts ClientOptions) (*Client, *Controller) {
+	t.Helper()
+	ctl := NewController(chip.NewReference())
+	return NewClient(NewLoopback(NewSession(ctl)), opts), ctl
+}
+
+func TestMarginsVerbFormat(t *testing.T) {
+	ctl := NewController(chip.NewReference())
+	sess := NewSession(ctl)
+	out := sess.Exec("margins")
+	if !strings.HasPrefix(out, "ok ") {
+		t.Fatalf("margins answered %q", out)
+	}
+	fields := strings.Fields(out[len("ok "):])
+	if len(fields) != 16 {
+		t.Fatalf("margins reported %d cores, want 16: %q", len(fields), out)
+	}
+	// Address order: chip 0's cores first, each core label once.
+	if !strings.HasPrefix(fields[0], "P0C0=") || !strings.HasPrefix(fields[15], "P1C7=") {
+		t.Fatalf("margins not in address order: %q", out)
+	}
+	if sess.Exec("margins extra") != "err usage: margins" {
+		t.Fatalf("margins accepted arguments")
+	}
+}
+
+func TestMarginRegisterMatchesSafetyCriterion(t *testing.T) {
+	ctl := NewController(chip.NewReference())
+	m := ctl.Machine()
+	core := m.AllCores()[0]
+	p := core.Profile
+
+	// At the deterministic worst-case limit the margin is, by
+	// construction of the limit criterion, at least the calibration
+	// headroom (4.5 sigma) and less than that plus one tap step.
+	lim := p.DeterministicLimit(1)
+	if err := m.ProgramCPM(p.Label, lim); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctl.Getscom(MakeCoreAddr(0, 0, regMargin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := float64(int64(v)) / 1000
+	if sigma < 4.5 {
+		t.Fatalf("margin at the worst-case limit = %.3f sigma, want >= 4.5", sigma)
+	}
+
+	// One step past the limit the criterion fails: margin below 4.5.
+	if lim < p.MaxReduction() {
+		if err := m.ProgramCPM(p.Label, lim+1); err != nil {
+			t.Fatal(err)
+		}
+		v, err = ctl.Getscom(MakeCoreAddr(0, 0, regMargin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := float64(int64(v)) / 1000; s >= 4.5 {
+			t.Fatalf("margin one past the limit = %.3f sigma, want < 4.5", s)
+		}
+	}
+
+	// The register is read-only.
+	if err := ctl.Putscom(MakeCoreAddr(0, 0, regMargin), 1); err == nil {
+		t.Fatal("margin register accepted a write")
+	}
+}
+
+func TestClientMarginsLoopback(t *testing.T) {
+	cli, ctl := loopbackClient(t, ClientOptions{})
+	ms, err := cli.Margins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 16 {
+		t.Fatalf("Margins returned %d cores, want 16", len(ms))
+	}
+	for i, core := range ctl.Machine().AllCores() {
+		if ms[i].Core != core.Profile.Label {
+			t.Fatalf("margin %d is %s, want %s", i, ms[i].Core, core.Profile.Label)
+		}
+		want := float64(marginMilliSigma(core)) / 1000
+		if math.Abs(ms[i].Sigma-want) > 1e-9 {
+			t.Fatalf("%s margin = %v, want %v", ms[i].Core, ms[i].Sigma, want)
+		}
+	}
+}
+
+func TestLoopbackQuitAndResync(t *testing.T) {
+	cli, _ := loopbackClient(t, ClientOptions{})
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}

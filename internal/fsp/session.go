@@ -26,6 +26,7 @@ import (
 //	pstate <core> <MHz>               set the DVFS p-state
 //	gate <core> <on|off>              power-gate a core
 //	freq <core>                       settled frequency (MHz)
+//	margins                           every core's CPM slack margin (sigmas)
 //	chip <P0|P1>                      chip telemetry line
 //	cores                             list core labels
 //	ping <token>                      echo (client liveness / re-sync)
@@ -63,7 +64,7 @@ type sessionObs struct {
 // handled by the serve loop and never reaches Exec).
 var sessionVerbs = []string{
 	"getscom", "putscom", "cpm", "mode", "pstate", "gate",
-	"freq", "chip", "cores", "ping", "stats", "health",
+	"freq", "margins", "chip", "cores", "ping", "stats", "health",
 }
 
 // isKnownVerb reports whether cmd is part of the protocol. The check
@@ -361,6 +362,29 @@ func (s *Session) dispatch(cmd string, args []string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("%d MHz", v), nil
+
+	case "margins":
+		if len(args) != 0 {
+			return "", fmt.Errorf("usage: margins")
+		}
+		// Read-only batch telemetry: every core's CPM slack margin to the
+		// worst-case workload envelope, in per-trial sigmas, in register
+		// address order. One round trip reads the whole server — the
+		// margin sentinel's per-sample poll.
+		var sb strings.Builder
+		for ci, ch := range s.ctl.m.Chips {
+			for ki, core := range ch.Cores {
+				v, err := s.ctl.Getscom(MakeCoreAddr(ci, ki, regMargin))
+				if err != nil {
+					return "", err
+				}
+				if sb.Len() > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(fmt.Sprintf("%s=%.3f", core.Profile.Label, float64(int64(v))/1000))
+			}
+		}
+		return sb.String(), nil
 
 	case "chip":
 		if len(args) != 1 {

@@ -88,6 +88,74 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerTripsExactlyAtThreshold pins the off-by-one edge: the
+// breaker stays closed through FailureThreshold-1 consecutive failures
+// and opens on exactly the FailureThreshold-th — not one later.
+func TestBreakerTripsExactlyAtThreshold(t *testing.T) {
+	const threshold = 4
+	b := NewBreaker(BreakerOptions{FailureThreshold: threshold, OpenTicks: 4})
+	for i := 0; i < threshold-1; i++ {
+		b.Failure()
+		if got := b.State(); got != StateClosed {
+			t.Fatalf("state after %d failure(s) = %v, want closed", i+1, got)
+		}
+	}
+	// A success here must clear the count: the threshold is about
+	// consecutive failures, so the full budget is available again.
+	b.Success()
+	for i := 0; i < threshold-1; i++ {
+		b.Failure()
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state at threshold-1 after reset = %v, want closed", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at exactly %d consecutive failures = %v, want open", threshold, got)
+	}
+}
+
+// TestBreakerHalfOpenSuccessThenFailure pins the probe-reset edge: a
+// half-open breaker that sees a success and then a failure re-opens
+// immediately, sheds for a fresh open window, and — critically — the
+// partial probe credit is forgotten, so the next half-open round still
+// needs the full HalfOpenProbes consecutive successes to close.
+func TestBreakerHalfOpenSuccessThenFailure(t *testing.T) {
+	b := NewBreaker(BreakerOptions{FailureThreshold: 1, OpenTicks: 3, HalfOpenProbes: 2})
+	toHalfOpen := func() {
+		for i := 0; b.State() != StateHalfOpen; i++ {
+			b.Allow()
+			if i > 100 {
+				t.Fatal("breaker never reached half-open")
+			}
+		}
+	}
+
+	b.Failure()
+	toHalfOpen()
+	b.Success() // one probe of the two needed
+	b.Failure() // probe round fails: re-open immediately
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after success-then-failure in half-open = %v, want open", got)
+	}
+	// The re-trip starts a fresh open window measured from now.
+	if b.Allow() {
+		t.Fatal("Allow admitted immediately after a half-open re-trip")
+	}
+
+	toHalfOpen()
+	// The earlier probe success must not carry over: one success is
+	// still one short of HalfOpenProbes.
+	b.Success()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after 1 fresh probe = %v, want half-open (stale probe credit leaked)", got)
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after full probe round = %v, want closed", got)
+	}
+}
+
 func TestBreakerExternalClock(t *testing.T) {
 	var clock int64
 	b := NewBreaker(BreakerOptions{

@@ -1,0 +1,27 @@
+package lifetime
+
+import (
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+// TestProbe3Years is a diagnostic: run with -v to see the calibration.
+func TestProbe3Years(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, off := range []bool{false, true} {
+		res, err := Run(silicon.Reference(), Options{Years: 3, Seed: 1, SentinelOff: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("sentinelOff=%v: verdict=%s trials=%d failures=%d sb=%d rt=%d st=%d q=%d",
+			off, res.Verdict(), res.Trials, res.Failures, res.StepBacks, res.Retunes, res.Statics, res.Quarantines)
+		for _, c := range res.Cores {
+			t.Logf("  %s: red %d->%d margin %.2f->%.2f age=%.4f fail=%d sb=%d rt=%d static=%v quar=%v",
+				c.Core, c.StartReduction, c.EndReduction, c.StartMargin, c.EndMargin, c.AgeFrac,
+				c.Failures, c.StepBacks, c.Retunes, c.Static, c.Quarantined)
+		}
+	}
+}

@@ -250,6 +250,8 @@ func DefaultConfig() *Config {
 			"repro/internal/obs",
 			"repro/internal/fleet",
 			"repro/internal/guard",
+			"repro/internal/lifetime",
+			"repro/internal/sentinel",
 		},
 		ErrPackages: []string{
 			"repro/cmd/",

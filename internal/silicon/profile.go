@@ -382,6 +382,37 @@ func (s *ServerProfile) FindCore(label string) *CoreProfile {
 	return nil
 }
 
+// Clone returns a deep copy of the core profile: mutating the clone's
+// slices or scalars never aliases the original. The unexported params
+// ride along unchanged (they are a value type).
+func (c *CoreProfile) Clone() *CoreProfile {
+	nc := *c
+	nc.StepPs = append([]units.Picosecond(nil), c.StepPs...)
+	nc.SiteSkewPs = append([]units.Picosecond(nil), c.SiteSkewPs...)
+	return &nc
+}
+
+// Clone returns a deep copy of the chip profile.
+func (ch *ChipProfile) Clone() *ChipProfile {
+	nch := &ChipProfile{Label: ch.Label, Cores: make([]*CoreProfile, 0, len(ch.Cores))}
+	for _, c := range ch.Cores {
+		nch.Cores = append(nch.Cores, c.Clone())
+	}
+	return nch
+}
+
+// Clone returns a deep copy of the whole server profile. Overlays that
+// age or perturb silicon parameters (internal/lifetime) mutate a clone,
+// never the reference profile, so the pristine silicon stays available
+// for comparison runs in the same process.
+func (s *ServerProfile) Clone() *ServerProfile {
+	out := &ServerProfile{params: s.params, Chips: make([]*ChipProfile, 0, len(s.Chips))}
+	for _, ch := range s.Chips {
+		out.Chips = append(out.Chips, ch.Clone())
+	}
+	return out
+}
+
 // ScaleTrialNoise returns a deep copy of the server whose per-trial
 // required-guard noise (SigmaFrac) is scaled by factor on every core.
 // Used by the noise ablation: a noisier platform widens the limit
@@ -391,17 +422,9 @@ func (s *ServerProfile) ScaleTrialNoise(factor float64) *ServerProfile {
 	if factor <= 0 {
 		panic("silicon: non-positive noise scale")
 	}
-	out := &ServerProfile{params: s.params}
-	for _, ch := range s.Chips {
-		nch := &ChipProfile{Label: ch.Label}
-		for _, c := range ch.Cores {
-			nc := *c
-			nc.StepPs = append([]units.Picosecond(nil), c.StepPs...)
-			nc.SiteSkewPs = append([]units.Picosecond(nil), c.SiteSkewPs...)
-			nc.SigmaFrac = c.SigmaFrac * factor
-			nch.Cores = append(nch.Cores, &nc)
-		}
-		out.Chips = append(out.Chips, nch)
+	out := s.Clone()
+	for _, c := range out.AllCores() {
+		c.SigmaFrac *= factor
 	}
 	return out
 }

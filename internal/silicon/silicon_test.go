@@ -430,3 +430,70 @@ func TestScaleTrialNoisePanicsOnBadFactor(t *testing.T) {
 	}()
 	Reference().ScaleTrialNoise(0)
 }
+
+func TestCloneNeverAliasesReference(t *testing.T) {
+	ref := Reference()
+	clone := ref.Clone()
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+
+	// Snapshot the reference before mutating the clone.
+	type snap struct {
+		path, synth, idle, ubench units.Picosecond
+		sigma                     float64
+		step1                     units.Picosecond
+		skew0                     units.Picosecond
+		preset                    int
+	}
+	before := map[string]snap{}
+	for _, c := range ref.AllCores() {
+		before[c.Label] = snap{
+			path: c.PathPs, synth: c.SynthPs, idle: c.IdleGuardPs,
+			ubench: c.UBenchGuardPs, sigma: c.SigmaFrac,
+			step1: c.StepPs[1], skew0: c.SiteSkewPs[0], preset: c.PresetTaps,
+		}
+	}
+
+	// Mutate every field of every cloned core, including slice elements:
+	// the aliasing bugs Clone exists to prevent live in shared backing
+	// arrays, not in the scalar copies.
+	for _, c := range clone.AllCores() {
+		c.PathPs *= 2
+		c.SynthPs *= 2
+		c.IdleGuardPs *= 2
+		c.UBenchGuardPs *= 2
+		c.SigmaFrac *= 10
+		c.PresetTaps = 1
+		for k := range c.StepPs {
+			c.StepPs[k] += 1000
+		}
+		for k := range c.SiteSkewPs {
+			c.SiteSkewPs[k] -= 1000
+		}
+	}
+
+	for _, c := range ref.AllCores() {
+		b := before[c.Label]
+		if c.PathPs != b.path || c.SynthPs != b.synth || c.IdleGuardPs != b.idle ||
+			c.UBenchGuardPs != b.ubench || c.PresetTaps != b.preset {
+			t.Fatalf("%s: scalar field of the reference changed after mutating a clone", c.Label)
+		}
+		//lint:ignore floatcmp aliasing check: the value must be bit-identical to its snapshot, any change at all is the bug
+		if c.SigmaFrac != b.sigma {
+			t.Fatalf("%s: SigmaFrac of the reference changed after mutating a clone", c.Label)
+		}
+		if c.StepPs[1] != b.step1 {
+			t.Fatalf("%s: StepPs backing array is shared with the clone", c.Label)
+		}
+		if c.SiteSkewPs[0] != b.skew0 {
+			t.Fatalf("%s: SiteSkewPs backing array is shared with the clone", c.Label)
+		}
+	}
+
+	// A clone of a clone must be equally independent, and params must
+	// survive the copy so the clone still validates and settles.
+	if clone.Params() != ref.Params() {
+		t.Fatalf("clone dropped the chip-level params")
+	}
+}
