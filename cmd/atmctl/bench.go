@@ -1,0 +1,224 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/report"
+)
+
+// cmdBench runs the pinned microbenchmark plan over the //atm:hotpath
+// kernels, the end-to-end characterize/tune stages, and the fleet
+// engine, optionally profiling exactly the benched region, and emits
+// the canonical BENCH_core.json artifact.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	set := fs.String("set", "", "comma-separated stage groups to run: kernel,e2e,fleet (empty = all)")
+	quick := fs.Bool("quick", false, "CI-sized iteration plan (baselines are checked in quick)")
+	out := fs.String("out", "", "write the BENCH json artifact to this file")
+	baseline := fs.String("baseline", "", "compare against this BENCH json and exit 3 on regression")
+	bench := fs.String("bench", "core", "artifact family name recorded in the json")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benched region")
+	memprofile := fs.String("memprofile", "", "write a post-GC heap profile taken after the benched region")
+	traceOut := fs.String("trace", "", "write a runtime/trace of the benched region")
+	top := fs.Int("top", 0, "after the run, print the top-N hotspot table from -cpuprofile")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *top > 0 && *cpuprofile == "" {
+		fmt.Fprintln(os.Stderr, "bench: -top needs -cpuprofile")
+		return usageError{fmt.Errorf("-top without -cpuprofile")}
+	}
+
+	var groups []string
+	if *set != "" {
+		groups = strings.Split(*set, ",")
+	}
+	stages, err := perf.Stages(*quick, groups...)
+	if err != nil {
+		return usageError{err}
+	}
+
+	// Capture brackets exactly the measured stages: no flag parsing, no
+	// artifact writing in the profile.
+	capture := perf.Capture{CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceOut}
+	var stop func() error
+	if capture.Enabled() {
+		if stop, err = capture.Start(); err != nil {
+			return err
+		}
+	}
+	results, err := perf.RunStages(stages)
+	if stop != nil {
+		if cerr := stop(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	doc := perf.NewDoc(*bench, *quick, results)
+	if err := renderBenchTable(doc, results); err != nil {
+		return err
+	}
+	if *out != "" {
+		raw, err := doc.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out, func(f *os.File) error { _, werr := f.Write(raw); return werr }); err != nil {
+			return err
+		}
+	}
+	if *top > 0 {
+		if err := printTop(*cpuprofile, *top); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		return gateBaseline(*baseline, doc)
+	}
+	return nil
+}
+
+// renderBenchTable prints the per-stage results for humans; the json
+// artifact is the machine form.
+func renderBenchTable(doc *perf.Doc, results []perf.StageResult) error {
+	t := &report.Table{
+		Title:  fmt.Sprintf("bench %s (quick=%v)", doc.Bench, doc.Quick),
+		Header: []string{"stage", "group", "iters", "trials/op", "ns/trial", "trials/sec", "allocs/op"},
+	}
+	for _, r := range results {
+		nsPerTrial := int64(0)
+		if r.TrialsPerOp > 0 {
+			nsPerTrial = r.NSPerOp / r.TrialsPerOp
+		}
+		allocs := fmt.Sprintf("%d", r.AllocsPerOp)
+		if !r.Stage.AllocStable {
+			allocs = fmt.Sprintf("~%d", r.AllocsPerOp) // scheduling-dependent: timing only
+		}
+		t.AddRow(r.Stage.Name, r.Stage.Group, fmt.Sprintf("%d", r.Stage.Iters),
+			fmt.Sprintf("%d", r.TrialsPerOp), fmt.Sprintf("%d", nsPerTrial),
+			report.F(r.TrialsPerSec, 0), allocs)
+	}
+	return t.Render(os.Stdout)
+}
+
+// printTop parses the captured CPU profile and prints the hotspot
+// table — deterministic for a given profile file.
+func printTop(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errdrop read-only profile handle
+	defer f.Close()
+	p, err := perf.ParseProfile(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d of %s:\n", n, path)
+	_, err = os.Stdout.WriteString(perf.FormatTop(p, p.Top(n)))
+	return err
+}
+
+// gateBaseline compares the run against a checked-in baseline and
+// reports regressions as a partial failure (exit 3): the run itself
+// rendered fine, but the operator must not miss the drift.
+func gateBaseline(path string, doc *perf.Doc) error {
+	base, err := perf.ReadDoc(path)
+	if err != nil {
+		return err
+	}
+	regs, err := perf.Compare(base, doc)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Printf("baseline %s: ok (%d stage(s) gated)\n", path, len(base.Stages))
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "regression:", r)
+	}
+	return partialf("%d regression(s) against %s", len(regs), path)
+}
+
+// cmdFlood floods the FSP service plane with seeded pipelined operator
+// sessions through the real guard plane and emits BENCH_fsp.json. The
+// canonical outcome (sheds, breaker trips, latency quantiles in
+// logical ticks) is a pure function of the options; wall-clock
+// throughput lands in the timing section.
+func cmdFlood(args []string) error {
+	fs := flag.NewFlagSet("flood", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "CI-sized plan (baselines are checked in quick)")
+	sessions := fs.Int("sessions", 0, "concurrent operator sessions (0 = plan default)")
+	commands := fs.Int("commands", 0, "commands per admitted session (0 = plan default)")
+	pipeline := fs.Int("pipeline", 0, "issue-ahead window per session (0 = plan default)")
+	seed := fs.Uint64("seed", 1, "interleaver and command-mix seed")
+	garbage := fs.Int("garbage", -1, "protocol-garbage rate in per-mille (-1 = plan default)")
+	maxSessions := fs.Int("max-sessions", -1, "session gate capacity, 0 disables (-1 = plan default)")
+	acceptBurst := fs.Int64("accept-burst", -1, "admission token-bucket burst, 0 disables (-1 = plan default)")
+	garbageThreshold := fs.Int("garbage-threshold", -1, "breaker garbage threshold, 0 disables (-1 = plan default)")
+	out := fs.String("out", "", "write the BENCH json artifact to this file")
+	baseline := fs.String("baseline", "", "compare against this BENCH json and exit 3 on regression")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	o := perf.DefaultFloodOptions(*quick)
+	o.Seed = *seed
+	if *sessions > 0 {
+		o.Sessions = *sessions
+	}
+	if *commands > 0 {
+		o.Commands = *commands
+	}
+	if *pipeline > 0 {
+		o.Pipeline = *pipeline
+	}
+	if *garbage >= 0 {
+		o.Garbage = *garbage
+	}
+	if *maxSessions >= 0 {
+		o.MaxSessions = *maxSessions
+	}
+	if *acceptBurst >= 0 {
+		o.AcceptBurst = *acceptBurst
+	}
+	if *garbageThreshold >= 0 {
+		o.GarbageThreshold = *garbageThreshold
+	}
+
+	r, err := perf.Flood(o)
+	if err != nil {
+		if strings.Contains(err.Error(), "perf:") {
+			return usageError{err}
+		}
+		return err
+	}
+	doc := perf.FloodDoc(o, *quick, r)
+	fmt.Printf("flood: %d session(s) × %d cmd(s): issued %d, executed %d, shed %d (%.0f%%), breaker-rejected %d, errors %d\n",
+		o.Sessions, o.Commands, r.Issued, r.Executed, r.ShedSessions,
+		100*doc.Flood.ShedRate, r.BreakerRejected, r.Errors)
+	fmt.Printf("flood: latency ticks p50=%.1f p95=%.1f p99=%.1f; wall %.3fms (%.0f req/s)\n",
+		r.P50Ticks, r.P95Ticks, r.P99Ticks,
+		float64(r.WallNS)/1e6, doc.Timing.ReqPerSec)
+	if *out != "" {
+		raw, err := doc.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out, func(f *os.File) error { _, werr := f.Write(raw); return werr }); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		return gateBaseline(*baseline, doc)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// silenceStdout routes subcommand rendering to /dev/null for the test
+// duration; diagnostics still reach os.Stderr.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = stdout
+		//lint:ignore errdrop test teardown of the /dev/null handle
+		devnull.Close()
+	})
+}
+
+func TestBenchEmitsArtifactAndProfiles(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_core.json")
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+
+	if got := run([]string{"bench", "-set", "kernel", "-quick",
+		"-out", out, "-cpuprofile", cpu, "-top", "5"}); got != 0 {
+		t.Fatalf("bench exit = %d, want 0", got)
+	}
+
+	doc, err := perf.ReadDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "core" || !doc.Quick || len(doc.Stages) == 0 {
+		t.Fatalf("artifact malformed: %+v", doc)
+	}
+	for _, row := range doc.Stages {
+		if row.Group != "kernel" {
+			t.Errorf("-set kernel leaked stage %s/%s", row.Group, row.Name)
+		}
+	}
+	f, err := os.Open(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errdrop read-only profile handle in a test
+	defer f.Close()
+	if _, err := perf.ParseProfile(f); err != nil {
+		t.Fatalf("captured profile unparseable: %v", err)
+	}
+}
+
+func TestBenchBaselineGate(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_core.json")
+	if got := run([]string{"bench", "-set", "kernel", "-quick", "-out", out}); got != 0 {
+		t.Fatalf("baseline run exit = %d, want 0", got)
+	}
+
+	// A fresh run against its own baseline passes the gate.
+	if got := run([]string{"bench", "-set", "kernel", "-quick", "-baseline", out}); got != 0 {
+		t.Fatalf("self-comparison exit = %d, want 0", got)
+	}
+
+	// Poison the baseline: impossible allocs and a vanished stage must
+	// both surface as exit 3 (partial), not a hard failure.
+	doc, err := perf.ReadDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Stages = append(doc.Stages, perf.StageRow{Name: "ghost_stage", Group: "kernel", AllocsPerOp: -1})
+	raw, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"bench", "-set", "kernel", "-quick", "-baseline", out}); got != 3 {
+		t.Fatalf("regression exit = %d, want 3", got)
+	}
+
+	// Quick run against a full baseline refuses hard (exit 1).
+	doc.Quick = false
+	doc.Stages = doc.Stages[:len(doc.Stages)-1]
+	raw, err = doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"bench", "-set", "kernel", "-quick", "-baseline", out}); got != 1 {
+		t.Fatalf("quick/full mismatch exit = %d, want 1", got)
+	}
+}
+
+func TestBenchUsageErrors(t *testing.T) {
+	silenceStdout(t)
+	if got := run([]string{"bench", "-set", "bogus"}); got != 2 {
+		t.Fatalf("unknown -set exit = %d, want 2", got)
+	}
+	if got := run([]string{"bench", "-top", "5"}); got != 2 {
+		t.Fatalf("-top without -cpuprofile exit = %d, want 2", got)
+	}
+}
+
+// TestFloodDeterministicArtifact is satellite (d) at the CLI surface:
+// two identically-seeded flood runs write byte-identical artifacts
+// once the single timing sub-object is stripped.
+func TestFloodDeterministicArtifact(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, out := range []string{a, b} {
+		if got := run([]string{"flood", "-quick", "-seed", "7", "-out", out}); got != 0 {
+			t.Fatalf("flood exit = %d, want 0", got)
+		}
+	}
+	canon := func(path string) []byte {
+		t.Helper()
+		doc, err := perf.ReadDoc(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := doc.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if ca, cb := canon(a), canon(b); !bytes.Equal(ca, cb) {
+		t.Fatalf("seeded flood artifacts diverged:\n%s\n%s", ca, cb)
+	}
+
+	// The raw files differ only inside "timing": parse both, zero the
+	// timing, and the structures must match (guards against stray
+	// wall-clock fields leaking into new canonical sections).
+	var da, db perf.Doc
+	rawA, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawA, &da); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawB, &db); err != nil {
+		t.Fatal(err)
+	}
+	da.Timing, db.Timing = perf.Timing{}, perf.Timing{}
+	if *da.Flood != *db.Flood {
+		t.Fatalf("canonical flood rows diverged: %+v vs %+v", da.Flood, db.Flood)
+	}
+}
+
+func TestFloodBaselineGate(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_fsp.json")
+	if got := run([]string{"flood", "-quick", "-out", out}); got != 0 {
+		t.Fatalf("flood exit = %d, want 0", got)
+	}
+	// Identical options reproduce the canonical outcome: gate passes.
+	if got := run([]string{"flood", "-quick", "-baseline", out}); got != 0 {
+		t.Fatalf("self-comparison exit = %d, want 0", got)
+	}
+	// A baseline with a diverged canonical outcome fails the gate.
+	doc, err := perf.ReadDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Flood.Executed++
+	raw, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"flood", "-quick", "-baseline", out}); got != 3 {
+		t.Fatalf("diverged baseline exit = %d, want 3", got)
+	}
+}
+
+func TestFloodUsageErrors(t *testing.T) {
+	silenceStdout(t)
+	if got := run([]string{"flood", "-garbage", "2000"}); got != 2 {
+		t.Fatalf("garbage out of range exit = %d, want 2", got)
+	}
+}

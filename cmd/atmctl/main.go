@@ -12,6 +12,9 @@
 //	atmctl fleet -kind montecarlo -n 32 -workers 8 [-cache-dir .fleet] [-resume]
 //	atmctl lifetime [-years 3] [-seed 1] [-sentinel-off] [-cache-dir .fleet] [-resume]
 //	atmctl transient [-chip P0] [-steps 2000] [-stress]
+//	atmctl bench [-set kernel,e2e,fleet] [-quick] [-out BENCH_core.json] [-baseline BENCH_core.json]
+//	             [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] [-trace trace.out] [-top 15]
+//	atmctl flood [-sessions 16] [-commands 200] [-seed 1] [-quick] [-out BENCH_fsp.json] [-baseline BENCH_fsp.json]
 //	atmctl status
 //
 // characterize, tune, schedule, sweep, fleet and lifetime accept
@@ -32,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	atm "repro"
 	"repro/internal/manage"
@@ -72,6 +76,10 @@ func run(argv []string) int {
 		err = cmdLifetime(args)
 	case "transient":
 		err = cmdTransient(args)
+	case "bench":
+		err = cmdBench(args)
+	case "flood":
+		err = cmdFlood(args)
 	case "status":
 		err = cmdStatus(args)
 	default:
@@ -95,7 +103,7 @@ func run(argv []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|lifetime|transient|status> [flags]
+	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|lifetime|transient|bench|flood|status> [flags]
 run "atmctl <subcommand> -h" for flags`)
 }
 
@@ -515,6 +523,8 @@ func cmdFleet(args []string) error {
 	trialBudget := fs.Int64("trial-budget", 0,
 		"watchdog: per-job trial budget before the job is failed as stuck (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the merged campaign result as JSON instead of a table")
+	timing := fs.Bool("timing", false,
+		"report per-job wall time on stderr (provenance only — the merged stdout output is unchanged)")
 	attach, flush := obsFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -536,7 +546,7 @@ func cmdFleet(args []string) error {
 	}
 
 	reg, tr := attach(nil)
-	res, err := atm.RunCampaign(camp, atm.FleetOptions{
+	opts := atm.FleetOptions{
 		Workers:      *workers,
 		CacheDir:     *cacheDir,
 		Resume:       *resume,
@@ -544,7 +554,13 @@ func cmdFleet(args []string) error {
 		TrialBudget:  *trialBudget,
 		Obs:          reg,
 		Trace:        tr,
-	})
+	}
+	if *timing {
+		// The fleet engine is in detrand scope and never reads the wall
+		// clock itself; the timing clock is injected from out here.
+		opts.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	res, err := atm.RunCampaign(camp, opts)
 	if err != nil {
 		return err
 	}
@@ -556,6 +572,15 @@ func cmdFleet(args []string) error {
 	// hits, and resumed runs.
 	fmt.Fprintf(os.Stderr, "fleet: campaign %s: %d job(s), %d cached, %d failed\n",
 		camp.Name, len(res.Results), res.CachedCount(), len(res.Failed()))
+	if *timing {
+		var total int64
+		for _, r := range res.Results {
+			total += r.WallNS
+			fmt.Fprintf(os.Stderr, "fleet: timing: %s %.3fms\n", r.JobID, float64(r.WallNS)/1e6)
+		}
+		fmt.Fprintf(os.Stderr, "fleet: timing: total %.3fms across %d job(s)\n",
+			float64(total)/1e6, len(res.Results))
+	}
 
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {

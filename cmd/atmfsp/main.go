@@ -21,10 +21,16 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	atm "repro"
 	"repro/internal/fsp"
 )
+
+// wallMicros is the latency clock for live serving: the per-verb
+// fsp_session_latency histograms (read back via the "stats" verb)
+// count wall-clock microseconds.
+func wallMicros() int64 { return time.Now().UnixMicro() }
 
 func main() {
 	seed := flag.Uint64("generated", 0, "use Monte-Carlo silicon with this seed (0 = paper reference)")
@@ -61,6 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atmfsp: serving on", l.Addr())
 		srv := fsp.NewServer(ctl)
 		srv.Observe(reg)
+		srv.SetClock(wallMicros)
 		srv.Guard(fsp.GuardOptions{
 			MaxSessions:      *maxSessions,
 			AcceptCapacity:   *acceptBurst,
@@ -73,6 +80,7 @@ func main() {
 	}
 	sess := fsp.NewSession(ctl)
 	sess.Observe(reg)
+	sess.SetClock(wallMicros)
 	if err := sess.Serve(os.Stdin, os.Stdout); err != nil {
 		fatal(err)
 	}

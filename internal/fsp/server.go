@@ -43,6 +43,10 @@ type Server struct {
 	reg   *obs.Registry
 	connc *obs.Counter
 
+	// clock, when non-nil, is forwarded to every session for per-verb
+	// latency histograms. Set via SetClock before Serve.
+	clock func() int64
+
 	// The guard plane (see guard.go). All handles are nil until Guard
 	// is called, and every use is nil-safe — the disabled default
 	// admits everything at ~zero cost.
@@ -77,6 +81,12 @@ func (s *Server) Observe(r *obs.Registry) {
 	s.reg = r
 	s.connc = r.Counter("fsp_server_connections_total")
 }
+
+// SetClock supplies the timestamp source every session times commands
+// with (see Session.SetClock). cmd/atmfsp wires wall microseconds; the
+// flood harness wires its logical tick clock. Call before Serve; nil
+// (the default) disables latency measurement.
+func (s *Server) SetClock(fn func() int64) { s.clock = fn }
 
 // Serve accepts connections on l until Close is called or the listener
 // fails. It blocks; run it in a goroutine when the caller needs to
@@ -135,22 +145,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	// gets one in-band "err busy" line — the client's retryable busy
 	// convention — and is closed by the caller's deferred Close, so
 	// overload never hangs a peer and never leaks a session goroutine.
-	if !s.bucket.Allow() {
+	release, ok := s.Admit()
+	if !ok {
 		s.shed(conn)
 		return
 	}
-	if !s.gate.TryAcquire() {
-		s.shed(conn)
-		return
-	}
-	defer s.gate.Release()
-	sess := NewSession(s.ctl)
-	if s.reg != nil {
-		sess.Observe(s.reg)
-	}
-	brk := s.sessionBreaker()
-	sess.breaker = brk
-	sess.health = func() string { return s.healthLine(brk) }
+	defer release()
+	sess := s.LocalSession()
 	locked := &lockedSession{sess: sess, mu: &s.mu}
 	var rw net.Conn = conn
 	if s.IdleTimeout > 0 {
@@ -160,9 +161,41 @@ func (s *Server) serveConn(conn net.Conn) {
 	_ = locked.serve(rw)
 }
 
-// shed refuses a connection in-band.
+// Admit runs the server's admission control — the accept token bucket,
+// then the session gate — exactly as serveConn does for a network
+// connection, and counts a shed on refusal. On success the returned
+// release must be called when the session ends (serveConn defers it).
+// In-process harnesses (atmctl flood) use Admit + LocalSession to push
+// load through the real guard plane without sockets.
+func (s *Server) Admit() (release func(), ok bool) {
+	if !s.bucket.Allow() || !s.gate.TryAcquire() {
+		s.shedC.Inc()
+		return nil, false
+	}
+	return s.gate.Release, true
+}
+
+// LocalSession builds a session wired exactly as serveConn wires one
+// for a network connection: the shared registry, the server clock, a
+// fresh garbage breaker, and the server-wide health view. The caller
+// drives it with Exec. A local session driven concurrently with
+// network traffic must serialize externally (network sessions hold the
+// server mutex per command); single-goroutine harnesses need not.
+func (s *Server) LocalSession() *Session {
+	sess := NewSession(s.ctl)
+	if s.reg != nil {
+		sess.Observe(s.reg)
+	}
+	sess.clock = s.clock
+	brk := s.sessionBreaker()
+	sess.breaker = brk
+	sess.health = func() string { return s.healthLine(brk) }
+	return sess
+}
+
+// shed refuses a connection in-band (the shed itself is counted by
+// Admit).
 func (s *Server) shed(conn net.Conn) {
-	s.shedC.Inc()
 	//lint:ignore errdrop shed notification is best-effort: the refused peer may already be gone, and there is no session to report into
 	fmt.Fprintln(conn, "err busy")
 }

@@ -48,6 +48,13 @@ type Session struct {
 	// network server wires it to the server-wide view; a standalone
 	// session reports only its own breaker.
 	health func() string
+
+	// clock, when non-nil, timestamps each command around dispatch and
+	// records the delta in the per-verb fsp_session_latency histogram.
+	// Units are the caller's: cmd/atmfsp wires wall-clock microseconds,
+	// the deterministic flood harness wires logical ticks. Nil (the
+	// default) skips latency measurement entirely.
+	clock func() int64
 }
 
 // sessionObs is the session's pre-resolved metric handle set plus the
@@ -55,9 +62,21 @@ type Session struct {
 // plane: counters no-op and "stats" answers the empty snapshot.
 type sessionObs struct {
 	reg     *obs.Registry
-	verbs   map[string]*obs.Counter // per known verb
+	verbs   map[string]*obs.Counter   // per known verb
+	lat     map[string]*obs.Histogram // per known verb, clock units
 	unknown *obs.Counter
+	latUnk  *obs.Histogram
 	errs    *obs.Counter
+}
+
+// LatencyBuckets is the fixed bucket layout of the per-verb
+// fsp_session_latency histogram. The bounds are unit-agnostic — they
+// cover wall-clock microseconds (1 µs … 100 ms) as well as the flood
+// harness's logical ticks — and they are part of the BENCH_fsp.json
+// schema: changing them invalidates checked-in quantile baselines.
+var LatencyBuckets = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
 }
 
 // sessionVerbs is every verb the dispatcher understands ("quit" is
@@ -89,16 +108,28 @@ func (s *Session) Observe(r *obs.Registry) {
 		return
 	}
 	verbs := make(map[string]*obs.Counter, len(sessionVerbs))
+	lat := make(map[string]*obs.Histogram, len(sessionVerbs))
 	for _, v := range sessionVerbs {
 		verbs[v] = r.Counter("fsp_session_commands_total", "verb", v)
+		lat[v] = r.Histogram("fsp_session_latency", LatencyBuckets, "verb", v)
 	}
 	s.ob = sessionObs{
 		reg:     r,
 		verbs:   verbs,
+		lat:     lat,
 		unknown: r.Counter("fsp_session_commands_total", "verb", "unknown"),
+		latUnk:  r.Histogram("fsp_session_latency", LatencyBuckets, "verb", "unknown"),
 		errs:    r.Counter("fsp_session_errors_total"),
 	}
 }
+
+// SetClock supplies the timestamp source for per-verb latency
+// histograms. Each Exec samples the clock before and after dispatch
+// and observes the delta; units are whatever the clock counts (the
+// network server wires wall microseconds, the flood harness logical
+// ticks). Nil disables measurement — the default, and the hot path
+// then never calls the clock.
+func (s *Session) SetClock(fn func() int64) { s.clock = fn }
 
 // NewSession wraps a controller.
 func NewSession(ctl *Controller) *Session { return &Session{ctl: ctl} }
@@ -191,6 +222,28 @@ func (s *Session) Exec(line string) string {
 		return "err empty command"
 	}
 	cmd, args := fields[0], fields[1:]
+	if s.clock == nil {
+		return s.execVerb(cmd, args)
+	}
+	began := s.clock()
+	resp := s.execVerb(cmd, args)
+	s.observeLatency(cmd, began)
+	return resp
+}
+
+// observeLatency records one command's clock delta in the per-verb
+// latency histogram. With no registry attached every handle is nil and
+// the whole sequence is allocation-free (pinned by a test).
+func (s *Session) observeLatency(cmd string, began int64) {
+	h, known := s.ob.lat[cmd]
+	if !known {
+		h = s.ob.latUnk
+	}
+	h.Observe(float64(s.clock() - began))
+}
+
+// execVerb runs one parsed command: counters, breaker policy, dispatch.
+func (s *Session) execVerb(cmd string, args []string) string {
 	if vc, known := s.ob.verbs[cmd]; known {
 		vc.Inc()
 	} else {

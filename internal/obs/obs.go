@@ -381,6 +381,64 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ExportQuantiles is the fixed quantile set every exposition renders
+// for a non-empty histogram: the latency percentiles the performance
+// plane (atmctl bench/flood, BENCH_fsp.json) reports.
+var ExportQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// distribution by linear interpolation within the fixed bucket that
+// contains the target rank — the same estimator Prometheus's
+// histogram_quantile applies server-side, computed here so a
+// deterministic simulation can report p50/p95/p99 without a scrape
+// stack. Like that estimator it assumes observations spread uniformly
+// within a bucket, takes the lower bound of the first bucket as 0 when
+// its upper bound is positive, and clamps ranks landing in the +Inf
+// bucket to the highest finite bound. NaN is returned on a nil or
+// empty histogram and for q outside (0, 1).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		in := float64(h.buckets[i].Load())
+		if in == 0 {
+			cum += in
+			continue
+		}
+		if cum+in < rank && i < len(h.buckets)-1 {
+			cum += in
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		} else if hi <= 0 {
+			// No sensible lower bound below a non-positive first bucket.
+			return hi
+		}
+		frac := (rank - cum) / in
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return math.NaN()
+}
+
 // Count returns the number of observations (0 on the nil handle).
 //
 //atm:hotpath
@@ -481,6 +539,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				}
 				fmt.Fprintf(&b, "%s %s\n", seriesName(fam.name+"_sum", s.labelBody, ""), formatFloat(s.h.Sum()))
 				fmt.Fprintf(&b, "%s %d\n", seriesName(fam.name+"_count", s.labelBody, ""), s.h.Count())
+				// Summary-style quantile series, estimated from the fixed
+				// buckets (see Histogram.Quantile). Empty histograms skip
+				// them — there is no distribution to summarize.
+				if s.h.Count() > 0 {
+					for _, q := range ExportQuantiles {
+						fmt.Fprintf(&b, "%s %s\n",
+							seriesName(fam.name, s.labelBody, `quantile="`+formatFloat(q)+`"`),
+							formatFloat(s.h.Quantile(q)))
+					}
+				}
 			}
 		}
 	}
@@ -535,6 +603,20 @@ func (r *Registry) SnapshotJSON() []byte {
 						fmt.Fprintf(&b, `,"count":%d}`, cum)
 					}
 					b.WriteByte(']')
+					if s.h.Count() > 0 {
+						b.WriteString(`,"quantiles":[`)
+						for i, q := range ExportQuantiles {
+							if i > 0 {
+								b.WriteByte(',')
+							}
+							b.WriteString(`{"q":`)
+							b.Write(jsonNumber(q))
+							b.WriteString(`,"v":`)
+							b.Write(jsonNumber(s.h.Quantile(q)))
+							b.WriteByte('}')
+						}
+						b.WriteByte(']')
+					}
 				}
 				b.WriteByte('}')
 			}

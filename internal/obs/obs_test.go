@@ -93,6 +93,9 @@ func TestWritePromFormat(t *testing.T) {
 		`hh_bucket{le="+Inf"} 2`,
 		"hh_sum 5.5",
 		"hh_count 2",
+		`hh{quantile="0.5"} 1`,
+		`hh{quantile="0.95"} 2`,
+		`hh{quantile="0.99"} 2`,
 		"# TYPE zz_gauge gauge",
 		"zz_gauge 1.5",
 		"",

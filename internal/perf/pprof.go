@@ -1,0 +1,348 @@
+package perf
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// A minimal, dependency-free reader for the pprof profile.proto wire
+// format — enough to turn a CPU profile captured by Capture into a
+// deterministic flat/cum hotspot table without shelling out to `go
+// tool pprof`. Only the fields the table needs are decoded; unknown
+// fields are skipped by wire type, so future pprof additions pass
+// through harmlessly.
+//
+// profile.proto field numbers used here:
+//
+//	Profile:  sample_type=1  sample=2  location=4  function=5  string_table=6
+//	ValueType: type=1 unit=2          Sample: location_id=1 value=2
+//	Location: id=1 line=4             Line:   function_id=1
+//	Function: id=1 name=2
+
+// Profile is the decoded subset of one pprof profile.
+type Profile struct {
+	// SampleTypes are the value columns, e.g. ["samples/count",
+	// "cpu/nanoseconds"] for a CPU profile.
+	SampleTypes []string
+	samples     []pprofSample
+	// locFunc maps location id → function name of its leaf-most line.
+	locFunc map[uint64]string
+}
+
+type pprofSample struct {
+	locs   []uint64 // leaf first
+	values []int64
+}
+
+// ParseProfile decodes a (possibly gzipped) pprof profile stream.
+func ParseProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("perf: pprof gzip: %w", err)
+		}
+		defer gz.Close()
+		raw, err := io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("perf: pprof gzip: %w", err)
+		}
+		return parseProfileBytes(raw)
+	}
+	raw, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	return parseProfileBytes(raw)
+}
+
+func parseProfileBytes(raw []byte) (*Profile, error) {
+	p := &Profile{locFunc: map[uint64]string{}}
+	var strtab []string
+	type valueType struct{ typ, unit int64 }
+	var vts []valueType
+	type line struct{ funcID uint64 }
+	type location struct {
+		id    uint64
+		lines []line
+	}
+	var locs []location
+	type function struct {
+		id   uint64
+		name int64
+	}
+	var funcs []function
+
+	err := walkFields(raw, func(field uint64, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1: // sample_type
+			var vt valueType
+			if err := walkFields(sub, func(f uint64, w int, u uint64, _ []byte) error {
+				switch f {
+				case 1:
+					vt.typ = int64(u)
+				case 2:
+					vt.unit = int64(u)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			vts = append(vts, vt)
+		case 2: // sample
+			var s pprofSample
+			if err := walkFields(sub, func(f uint64, w int, u uint64, packed []byte) error {
+				switch f {
+				case 1:
+					if w == 2 {
+						ids, err := unpackVarints(packed)
+						if err != nil {
+							return err
+						}
+						s.locs = append(s.locs, ids...)
+					} else {
+						s.locs = append(s.locs, u)
+					}
+				case 2:
+					if w == 2 {
+						vals, err := unpackVarints(packed)
+						if err != nil {
+							return err
+						}
+						for _, x := range vals {
+							s.values = append(s.values, int64(x))
+						}
+					} else {
+						s.values = append(s.values, int64(u))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			var loc location
+			if err := walkFields(sub, func(f uint64, w int, u uint64, lsub []byte) error {
+				switch f {
+				case 1:
+					loc.id = u
+				case 4:
+					var ln line
+					if err := walkFields(lsub, func(lf uint64, _ int, lu uint64, _ []byte) error {
+						if lf == 1 {
+							ln.funcID = lu
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+					loc.lines = append(loc.lines, ln)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locs = append(locs, loc)
+		case 5: // function
+			var fn function
+			if err := walkFields(sub, func(f uint64, _ int, u uint64, _ []byte) error {
+				switch f {
+				case 1:
+					fn.id = u
+				case 2:
+					fn.name = int64(u)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcs = append(funcs, fn)
+		case 6: // string_table
+			strtab = append(strtab, string(sub))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: pprof decode: %w", err)
+	}
+
+	str := func(i int64) string {
+		if i >= 0 && int(i) < len(strtab) {
+			return strtab[i]
+		}
+		return fmt.Sprintf("?str%d", i)
+	}
+	for _, vt := range vts {
+		p.SampleTypes = append(p.SampleTypes, str(vt.typ)+"/"+str(vt.unit))
+	}
+	funcName := map[uint64]string{}
+	for _, fn := range funcs {
+		funcName[fn.id] = str(fn.name)
+	}
+	for _, loc := range locs {
+		name := "?"
+		if len(loc.lines) > 0 {
+			// Line 0 is the leaf-most frame of an inlined stack.
+			if n, ok := funcName[loc.lines[0].funcID]; ok {
+				name = n
+			}
+		}
+		p.locFunc[loc.id] = name
+	}
+	return p, nil
+}
+
+// walkFields iterates one protobuf message's fields. For wire type 2
+// the payload is passed as sub; for varint fields the value arrives in
+// v. Fixed32/64 fields are skipped (the profile subset needs none).
+func walkFields(raw []byte, fn func(field uint64, wire int, v uint64, sub []byte) error) error {
+	for len(raw) > 0 {
+		key, n := uvarint(raw)
+		if n <= 0 {
+			return fmt.Errorf("bad field key")
+		}
+		raw = raw[n:]
+		field, wire := key>>3, int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(raw)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", field)
+			}
+			raw = raw[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1:
+			if len(raw) < 8 {
+				return fmt.Errorf("truncated fixed64 in field %d", field)
+			}
+			raw = raw[8:]
+		case 2:
+			ln, n := uvarint(raw)
+			if n <= 0 || uint64(len(raw)-n) < ln {
+				return fmt.Errorf("truncated bytes in field %d", field)
+			}
+			sub := raw[n : n+int(ln)]
+			raw = raw[n+int(ln):]
+			if err := fn(field, wire, 0, sub); err != nil {
+				return err
+			}
+		case 5:
+			if len(raw) < 4 {
+				return fmt.Errorf("truncated fixed32 in field %d", field)
+			}
+			raw = raw[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func unpackVarints(b []byte) ([]uint64, error) {
+	var out []uint64
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad packed varint")
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// TopRow is one function's aggregated weight in a profile.
+type TopRow struct {
+	Function string
+	// Flat is the weight sampled with this function on top of the
+	// stack; Cum includes every sample it appears anywhere in.
+	Flat, Cum int64
+}
+
+// Top aggregates the profile's last value column (cpu/nanoseconds for
+// a CPU profile) into a flat/cum table, sorted by flat descending then
+// name — fully deterministic for a given profile file. n <= 0 returns
+// every row.
+func (p *Profile) Top(n int) []TopRow {
+	col := len(p.SampleTypes) - 1
+	if col < 0 {
+		col = 0
+	}
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	for _, s := range p.samples {
+		if col >= len(s.values) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.values[col]
+		flat[p.locFunc[s.locs[0]]] += v
+		seen := map[string]bool{}
+		for _, loc := range s.locs {
+			name := p.locFunc[loc]
+			if !seen[name] {
+				seen[name] = true
+				cum[name] += v
+			}
+		}
+	}
+	names := make([]string, 0, len(cum))
+	for name := range cum {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]TopRow, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, TopRow{Function: name, Flat: flat[name], Cum: cum[name]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Flat != rows[j].Flat {
+			return rows[i].Flat > rows[j].Flat
+		}
+		return rows[i].Function < rows[j].Function
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// FormatTop renders a top table as aligned text with one header line.
+// The unit column reports which sample column was aggregated.
+func FormatTop(p *Profile, rows []TopRow) string {
+	unit := "samples"
+	if len(p.SampleTypes) > 0 {
+		unit = p.SampleTypes[len(p.SampleTypes)-1]
+	}
+	var total int64
+	for _, r := range rows {
+		total += r.Flat
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %7s %12s  %s (%s)\n", "flat", "flat%", "cum", "function", unit)
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Flat) / float64(total)
+		}
+		fmt.Fprintf(&b, "%12d %6.2f%% %12d  %s\n", r.Flat, pct, r.Cum, r.Function)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Capture configures optional profiling artifacts around a benched
+// region. Empty paths disable the corresponding artifact; Start/stop
+// bracket exactly the region, so a profile contains the benchmark and
+// nothing else (no flag parsing, no artifact writing).
+type Capture struct {
+	// CPUProfile, when non-empty, writes a pprof CPU profile there.
+	CPUProfile string
+	// MemProfile, when non-empty, writes a post-GC heap profile there
+	// at stop time.
+	MemProfile string
+	// Trace, when non-empty, writes a runtime/trace there.
+	Trace string
+}
+
+// Enabled reports whether any artifact is configured.
+func (c Capture) Enabled() bool {
+	return c.CPUProfile != "" || c.MemProfile != "" || c.Trace != ""
+}
+
+// Start begins capture and returns the stop function that finalizes
+// every configured artifact. On error nothing is left running.
+func (c Capture) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if c.CPUProfile != "" {
+		cpuF, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("perf: cpu profile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		traceF, err = os.Create(c.Trace)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("perf: trace: %w", err)
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			errs = append(errs, cpuF.Close())
+		}
+		if traceF != nil {
+			trace.Stop()
+			errs = append(errs, traceF.Close())
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				runtime.GC() // live objects only: the retained set of the benched region
+				errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

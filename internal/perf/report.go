@@ -1,0 +1,229 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion versions the BENCH_*.json artifact layout. Bump it
+// when a field changes meaning; the comparator refuses cross-version
+// comparisons instead of guessing.
+const SchemaVersion = "atm-bench/v1"
+
+// Doc is one BENCH_*.json artifact. Every field outside Timing is
+// deterministic for a fixed (code, seed, plan): the determinism tests
+// compare documents with Timing stripped, and the CI gate reads the
+// canonical rows for allocs and the timing rows for ns/op.
+type Doc struct {
+	// Bench names the artifact family: "core", "fsp", or "fleet".
+	Bench string `json:"bench"`
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Quick marks the CI-sized plan. Baselines are checked in quick so
+	// the CI gate compares like for like; full runs are for humans.
+	Quick bool `json:"quick"`
+	// Stages are the canonical per-stage rows, in run order.
+	Stages []StageRow `json:"stages,omitempty"`
+	// Flood is the flood harness's canonical outcome (fsp docs only).
+	Flood *FloodRow `json:"flood,omitempty"`
+	// Timing quarantines every machine- and moment-dependent number.
+	Timing Timing `json:"timing"`
+}
+
+// StageRow is one stage's canonical row.
+type StageRow struct {
+	Name        string `json:"name"`
+	Group       string `json:"group"`
+	Iters       int64  `json:"iters"`
+	TrialsPerOp int64  `json:"trials_per_op"`
+	// AllocsPerOp is the exact single-P allocation count, or -1 for
+	// alloc-unstable (parallel) stages, whose reading lives in Timing.
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Note        string `json:"note,omitempty"`
+}
+
+// FloodRow is the flood harness's canonical outcome: counts and
+// tick-domain latency quantiles, all pure functions of the seed.
+type FloodRow struct {
+	Sessions        int     `json:"sessions"`
+	Commands        int     `json:"commands"`
+	Pipeline        int     `json:"pipeline"`
+	Seed            uint64  `json:"seed"`
+	Issued          int64   `json:"issued"`
+	Executed        int64   `json:"executed"`
+	ShedSessions    int64   `json:"shed_sessions"`
+	BreakerRejected int64   `json:"breaker_rejected"`
+	Errors          int64   `json:"errors"`
+	ShedRate        float64 `json:"shed_rate"`
+	// Latency quantiles in logical ticks (issue→execute distance),
+	// estimated by the obs histogram interpolation.
+	P50Ticks float64 `json:"p50_ticks"`
+	P95Ticks float64 `json:"p95_ticks"`
+	P99Ticks float64 `json:"p99_ticks"`
+}
+
+// Timing is the one sub-object wall clocks may touch.
+type Timing struct {
+	CPUs    int   `json:"cpus"`
+	TotalNS int64 `json:"total_ns"`
+	// Stages carries per-stage wall numbers keyed by stage name
+	// (encoding/json emits map keys sorted, so the file layout is
+	// stable even though the values are not).
+	Stages map[string]StageTiming `json:"stages,omitempty"`
+	// ReqPerSec is the flood's wall-clock throughput (fsp docs only).
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+}
+
+// StageTiming is one stage's wall-clock reading.
+type StageTiming struct {
+	NSPerOp      int64   `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// AllocsPerOp appears here only for alloc-unstable stages.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// NewDoc assembles an artifact from measured stages.
+func NewDoc(bench string, quick bool, results []StageResult) *Doc {
+	doc := &Doc{
+		Bench:  bench,
+		Schema: SchemaVersion,
+		Quick:  quick,
+		Timing: Timing{CPUs: runtime.NumCPU(), Stages: map[string]StageTiming{}},
+	}
+	for _, r := range results {
+		row := StageRow{
+			Name:        r.Stage.Name,
+			Group:       r.Stage.Group,
+			Iters:       int64(r.Stage.Iters),
+			TrialsPerOp: r.TrialsPerOp,
+			AllocsPerOp: r.AllocsPerOp,
+			Note:        r.Stage.Note,
+		}
+		st := StageTiming{NSPerOp: r.NSPerOp, TrialsPerSec: r.TrialsPerSec}
+		if !r.Stage.AllocStable {
+			row.AllocsPerOp = -1
+			st.AllocsPerOp = r.AllocsPerOp
+		}
+		doc.Stages = append(doc.Stages, row)
+		doc.Timing.Stages[r.Stage.Name] = st
+		doc.Timing.TotalNS += r.NSPerOp * int64(r.Stage.Iters)
+	}
+	return doc
+}
+
+// Marshal renders the artifact: two-space indent, trailing newline —
+// the checked-in form.
+func (d *Doc) Marshal() ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// CanonicalBytes renders the artifact with Timing zeroed: the form two
+// identically-seeded runs must reproduce byte for byte.
+func (d *Doc) CanonicalBytes() ([]byte, error) {
+	stripped := *d
+	stripped.Timing = Timing{}
+	return stripped.Marshal()
+}
+
+// ReadDoc loads and schema-checks an artifact file.
+func ReadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if d.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema %q, want %q", path, d.Schema, SchemaVersion)
+	}
+	return &d, nil
+}
+
+// Regression is one baseline violation.
+type Regression struct {
+	Stage  string
+	Detail string
+}
+
+func (r Regression) String() string { return r.Stage + ": " + r.Detail }
+
+// NSRegressionFactor is the timing tolerance: a stage only fails the
+// gate when its ns/op exceeds the baseline by more than this factor,
+// so shared-runner noise cannot flake the build. Allocation counts
+// have no tolerance — any growth on an alloc-stable stage fails.
+const NSRegressionFactor = 2.0
+
+// nsNoiseFloor is the absolute slack under the ratio gate: a stage
+// must also regress by more than this many ns/op to fail. Single-digit
+// ns/op stages (a loadline solve is ~2 ns) quantize to integers, where
+// 1 → 3 ns is timer resolution, not a 3× regression; sub-floor kernels
+// effectively gate at baseline+floor instead of the meaningless ratio.
+const nsNoiseFloor = 50
+
+// Compare gates current against baseline: >NSRegressionFactor ns/op
+// growth or any allocs/op growth on an alloc-stable stage is a
+// regression, as is a stage that disappeared. Quantiles and throughput
+// are informational and never gate. Docs from different plans (quick
+// vs full) refuse to compare — the numbers would be meaningless.
+func Compare(baseline, current *Doc) ([]Regression, error) {
+	if baseline.Bench != current.Bench {
+		return nil, fmt.Errorf("perf: comparing bench %q against baseline %q", current.Bench, baseline.Bench)
+	}
+	if baseline.Quick != current.Quick {
+		return nil, fmt.Errorf("perf: comparing quick=%v run against quick=%v baseline", current.Quick, baseline.Quick)
+	}
+	cur := make(map[string]StageRow, len(current.Stages))
+	for _, row := range current.Stages {
+		cur[row.Name] = row
+	}
+	var regs []Regression
+	// The flood row is a pure function of (code, options): with matching
+	// options, any divergence from the baseline means the service plane's
+	// behavior changed — shed policy, breaker thresholds, verb set — and
+	// the baseline must be regenerated deliberately.
+	if b, c := baseline.Flood, current.Flood; b != nil && c != nil &&
+		b.Sessions == c.Sessions && b.Commands == c.Commands &&
+		b.Pipeline == c.Pipeline && b.Seed == c.Seed && *b != *c {
+		regs = append(regs, Regression{"flood",
+			fmt.Sprintf("canonical outcome diverged from baseline: %+v → %+v", *b, *c)})
+	}
+	for _, base := range baseline.Stages {
+		row, ok := cur[base.Name]
+		if !ok {
+			regs = append(regs, Regression{base.Name, "stage missing from current run"})
+			continue
+		}
+		if base.AllocsPerOp >= 0 && row.AllocsPerOp > base.AllocsPerOp {
+			regs = append(regs, Regression{base.Name,
+				fmt.Sprintf("allocs/op grew %d → %d", base.AllocsPerOp, row.AllocsPerOp)})
+		}
+		bt, bok := baseline.Timing.Stages[base.Name]
+		ct, cok := current.Timing.Stages[base.Name]
+		if bok && cok && bt.NSPerOp > 0 &&
+			float64(ct.NSPerOp) > float64(bt.NSPerOp)*NSRegressionFactor &&
+			ct.NSPerOp > bt.NSPerOp+nsNoiseFloor {
+			regs = append(regs, Regression{base.Name,
+				fmt.Sprintf("ns/op regressed >%.0f×: %d → %d", NSRegressionFactor, bt.NSPerOp, ct.NSPerOp)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Stage != regs[j].Stage {
+			return regs[i].Stage < regs[j].Stage
+		}
+		return regs[i].Detail < regs[j].Detail
+	})
+	return regs, nil
+}

@@ -1,0 +1,263 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/charact"
+	"repro/internal/chip"
+	"repro/internal/cpm"
+	"repro/internal/dpll"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/pdn"
+	"repro/internal/rng"
+	"repro/internal/tuning"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Sinks defeat dead-code elimination of the benched kernels. They are
+// written, never read.
+var (
+	sinkPs    units.Picosecond
+	sinkVolt  units.Volt
+	sinkF     float64
+	sinkRead  cpm.Reading
+	sinkTrial chip.TrialResult
+)
+
+// StageGroups are the selectable -set values, in run order.
+var StageGroups = []string{"kernel", "e2e", "fleet"}
+
+// Stages builds the benchmark plan. quick selects the CI-sized
+// iteration counts; the stage set itself is identical, so quick and
+// full artifacts differ only in plan size (and the comparator refuses
+// to mix them). groups filters by Stage.Group; empty means all.
+func Stages(quick bool, groups ...string) ([]Stage, error) {
+	want := map[string]bool{}
+	for _, g := range groups {
+		ok := false
+		for _, known := range StageGroups {
+			if g == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("perf: unknown stage group %q (have %v)", g, StageGroups)
+		}
+		want[g] = true
+	}
+	all := append(append(kernelStages(quick), e2eStages(quick)...), fleetStages(quick)...)
+	if len(want) == 0 {
+		return all, nil
+	}
+	var out []Stage
+	for _, st := range all {
+		if want[st.Group] {
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+// pick returns the plan-sized iteration count.
+func pick(quick bool, quickN, fullN int) int {
+	if quick {
+		return quickN
+	}
+	return fullN
+}
+
+// kernelStages benches every //atm:hotpath kernel the control loop is
+// built from. All are single-goroutine and alloc-stable: their
+// allocs/op rows gate in CI, and the hot ones must stay at zero.
+func kernelStages(quick bool) []Stage {
+	m := chip.NewReference()
+	core := m.AllCores()[0]
+	params := m.Profile().Params()
+	vref := params.VRef
+	cycle := core.Profile.DefaultFreq().CycleTime()
+	pd := pdn.DefaultParams()
+	w := workload.UBench()[0]
+
+	return []Stage{
+		{
+			Name: "cpm_site_delay", Group: "kernel", AllocStable: true,
+			Note:  "one CPM site path delay at VRef (cpm.SiteDelay)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				mon := cpm.New(core.Profile)
+				sites := len(core.Profile.SiteSkewPs)
+				for i := 0; i < iters; i++ {
+					sinkPs = mon.SiteDelay(i%sites, vref)
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "cpm_measure", Group: "kernel", AllocStable: true,
+			Note:  "worst-of-five quantized slack measurement (cpm.Measure)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				mon := cpm.New(core.Profile)
+				for i := 0; i < iters; i++ {
+					sinkRead = mon.Measure(cycle, vref)
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "dpll_step", Group: "kernel", AllocStable: true,
+			Note:  "one DPLL control interval: measure + slew (dpll.Step)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				cfg := dpll.DefaultConfig(params.ThetaUnits, params.FMaxHW)
+				loop, err := dpll.New(cpm.New(core.Profile), cfg, core.Profile.DefaultFreq())
+				if err != nil {
+					return 0, err
+				}
+				for i := 0; i < iters; i++ {
+					sinkRead = loop.Step(vref)
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "pdn_steady_voltage", Group: "kernel", AllocStable: true,
+			Note:  "DC operating point: loadline solve (pdn.SteadyVoltage)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					sinkVolt = pd.SteadyVoltage(units.Watt(40 + i%60))
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "pdn_step_response", Group: "kernel", AllocStable: true,
+			Note:  "underdamped AC transient sample (pdn.StepResponse)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					sinkVolt = pd.StepResponse(10, float64(i%1000)*1e-9)
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "pdn_first_droop", Group: "kernel", AllocStable: true,
+			Note:  "worst first-droop magnitude (pdn.FirstDroopPeak + SyncFactor)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					sinkVolt = pd.FirstDroopPeak(10 * pdn.SyncFactor(1+i%16))
+					sinkF = pd.UncoveredFraction(float64(1 + i%200))
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "chip_run_trial", Group: "kernel", AllocStable: true,
+			Note:  "one seeded workload trial incl. failure draw (chip.RunTrial)",
+			Iters: pick(quick, 5_000, 50_000),
+			Run: func(iters int) (int64, error) {
+				mm := chip.NewReference()
+				label := mm.AllCores()[0].Profile.Label
+				src := rng.New(1)
+				for i := 0; i < iters; i++ {
+					res, err := mm.RunTrial(label, w, src)
+					if err != nil {
+						return 0, err
+					}
+					sinkTrial = res
+				}
+				return int64(iters), nil
+			},
+		},
+	}
+}
+
+// e2eStages benches the paper's methodology end to end on the
+// reference server, counting real trials through the obs plane so
+// trials/sec means the same thing the ROADMAP's speed targets do. A
+// fresh machine per op keeps iterations independent and deterministic.
+func e2eStages(quick bool) []Stage {
+	return []Stage{
+		{
+			Name: "characterize", Group: "e2e", AllocStable: true,
+			Note:  "Sec. III-B characterization of the 16-core reference server",
+			Iters: pick(quick, 1, 3),
+			Run: func(iters int) (int64, error) {
+				var trials int64
+				for i := 0; i < iters; i++ {
+					reg := obs.NewRegistry()
+					mm := chip.NewReference()
+					if _, err := charact.Characterize(mm, charact.Options{
+						Trials: pick(quick, 1, 3),
+						Obs:    reg,
+					}); err != nil {
+						return 0, err
+					}
+					trials += reg.Counter("atm_charact_runs_total").Value()
+				}
+				return trials, nil
+			},
+		},
+		{
+			Name: "tune", Group: "e2e", AllocStable: true,
+			Note:  "Sec. VII-A stress-test deployment of the reference server",
+			Iters: pick(quick, 1, 3),
+			Run: func(iters int) (int64, error) {
+				var trials int64
+				for i := 0; i < iters; i++ {
+					reg := obs.NewRegistry()
+					mm := chip.NewReference()
+					if _, err := tuning.Deploy(mm, tuning.Options{
+						Passes: pick(quick, 1, 3),
+						Obs:    reg,
+					}); err != nil {
+						return 0, err
+					}
+					trials += reg.Counter("atm_tune_runs_total").Value()
+				}
+				return trials, nil
+			},
+		},
+	}
+}
+
+// fleetStages benches the parallel campaign engine. The worker pool
+// makes allocation counts scheduling-dependent, so these stages are
+// alloc-unstable: their allocs land in the timing section only.
+func fleetStages(quick bool) []Stage {
+	n := pick(quick, 2, 8)
+	mk := func(name string, workers int) Stage {
+		return Stage{
+			Name: name, Group: "fleet", AllocStable: false,
+			Note:  fmt.Sprintf("montecarlo sweep, %d generated server(s), %d worker(s)", n, workers),
+			Iters: 1,
+			Run: func(iters int) (int64, error) {
+				var trials int64
+				for i := 0; i < iters; i++ {
+					reg := obs.NewRegistry()
+					res, err := fleet.Run(fleet.MonteCarlo(n, 1), fleet.Options{
+						Workers: workers,
+						Obs:     reg,
+					})
+					if err != nil {
+						return 0, err
+					}
+					if failed := res.Failed(); len(failed) > 0 {
+						return 0, fmt.Errorf("fleet stage: %d job(s) failed: %v", len(failed), failed)
+					}
+					trials += reg.Counter("fleet_jobs_completed_total").Value()
+				}
+				return trials, nil
+			},
+		}
+	}
+	return []Stage{
+		mk("fleet_sequential", 1),
+		mk("fleet_workers4", 4),
+	}
+}

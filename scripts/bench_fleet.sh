@@ -1,53 +1,33 @@
 #!/usr/bin/env sh
-# bench_fleet.sh — run the internal/fleet benchmarks and emit
-# BENCH_fleet.json at the repository root.
+# bench_fleet.sh — run the fleet benchmark group through `atmctl bench`
+# and emit BENCH_fleet.json at the repository root, in the same
+# atm-bench/v1 schema as BENCH_core.json and BENCH_fsp.json: canonical
+# per-stage rows (name, group, iters, trials/op, allocs/op, note) plus
+# one "timing" sub-object quarantining every machine-dependent number
+# (cpus, ns/op, trials/sec).
 #
-# Usage: scripts/bench_fleet.sh [output-path]
+# Usage: scripts/bench_fleet.sh [output-path] [quick|full]
 #
-# The JSON records honest wall-clock numbers for the machine the script
-# ran on, including its CPU count: the workers=8 speedup only
-# materializes when the host actually has spare cores (jobs are
-# CPU-bound), so "cpus" is part of the result, not an afterthought.
+# The default "quick" plan matches the checked-in baseline so
+# `atmctl bench -quick -baseline BENCH_fleet.json` compares like for
+# like; "full" runs the larger plan for human-grade numbers. The fleet
+# stages are parallel, so their allocs/op is scheduling-dependent: the
+# canonical rows carry -1 and the honest reading lands in timing.
 set -eu
 
 out="${1:-BENCH_fleet.json}"
+plan="${2:-quick}"
 cd "$(dirname "$0")/.."
 
-cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+case "$plan" in
+quick) flags="-quick" ;;
+full) flags="" ;;
+*)
+	echo "bench_fleet: plan must be quick or full, got '$plan'" >&2
+	exit 2
+	;;
+esac
 
-go test -run '^$' -bench 'BenchmarkMonteCarlo|BenchmarkJobHash' \
-	-benchtime 3x -count 1 ./internal/fleet/ | tee "$raw" >&2
-
-# go test -bench lines look like:
-#   BenchmarkMonteCarloSequential-8   3   123456789 ns/op   456 B/op ...
-ns_of() {
-	awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }' "$raw"
-}
-
-seq_ns="$(ns_of BenchmarkMonteCarloSequential)"
-par_ns="$(ns_of BenchmarkMonteCarloWorkers8)"
-cached_ns="$(ns_of BenchmarkMonteCarloCached)"
-hash_ns="$(ns_of BenchmarkJobHash)"
-
-if [ -z "$seq_ns" ] || [ -z "$par_ns" ]; then
-	echo "bench_fleet: benchmark output missing expected lines" >&2
-	exit 1
-fi
-
-speedup="$(awk -v s="$seq_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s/p }')"
-
-cat >"$out" <<EOF
-{
-  "bench": "internal/fleet Monte-Carlo campaign (8 jobs)",
-  "cpus": $cpus,
-  "sequential_ns_per_op": $seq_ns,
-  "workers8_ns_per_op": $par_ns,
-  "cached_ns_per_op": ${cached_ns:-null},
-  "job_hash_ns_per_op": ${hash_ns:-null},
-  "speedup_workers8_vs_sequential": $speedup,
-  "note": "jobs are CPU-bound; speedup scales with min(workers, cpus, jobs) and is ~1.0 on a single-CPU host. Output bytes are identical at every worker count."
-}
-EOF
-echo "bench_fleet: wrote $out (cpus=$cpus, speedup=${speedup}x)" >&2
+# shellcheck disable=SC2086 # $flags is intentionally word-split
+go run ./cmd/atmctl bench -set fleet -bench fleet $flags -out "$out"
+echo "bench_fleet: wrote $out ($plan plan)" >&2
