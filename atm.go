@@ -37,11 +37,13 @@ import (
 	"repro/internal/charact"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/dc"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/lifetime"
 	"repro/internal/manage"
 	"repro/internal/obs"
+	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/silicon"
@@ -118,6 +120,25 @@ type (
 	// order — byte-identical for every worker count.
 	FleetResult = fleet.CampaignResult
 
+	// PlatformSpec names a simulated server completely: silicon seed
+	// (0 = the paper-calibrated reference), chip/core counts, fault
+	// profile. Identical specs build identical servers.
+	PlatformSpec = platform.Spec
+	// PlatformServer is one materialized machine with its provenance.
+	PlatformServer = platform.Server
+	// ProvisionOptions tunes the datacenter intake pass.
+	ProvisionOptions = platform.ProvisionOptions
+	// Provision is a server's datacenter-intake record: deployed
+	// configs, Eq. 1 predictor fits, power envelope.
+	Provision = platform.Provision
+
+	// DCOptions configures a datacenter campaign: topology, worker
+	// pool, budget caps, tenants, faults, cache.
+	DCOptions = dc.Options
+	// DCResult is the campaign's canonical outcome — byte-identical
+	// across worker counts and across fresh, cached and resumed runs.
+	DCResult = dc.Result
+
 	// LifetimeOptions configures a lifetime drift simulation: horizon,
 	// seed, drift parameters, sentinel calibration, control arm.
 	LifetimeOptions = lifetime.Options
@@ -180,6 +201,7 @@ const (
 	FleetTune         = fleet.KindTune
 	FleetMonteCarlo   = fleet.KindMonteCarlo
 	FleetLifetime     = fleet.KindLifetime
+	FleetDCProvision  = fleet.KindDCProvision
 )
 
 // Lifetime timeline event kinds (internal/lifetime).
@@ -344,6 +366,38 @@ func LifetimeCampaign(n int, start uint64, years int, sentinelOff bool) *FleetCa
 func SimulateLifetime(profile *SiliconProfile, o LifetimeOptions) (*LifetimeResult, error) {
 	return lifetime.Run(profile, o)
 }
+
+// BuildServer materializes a server spec through the shared platform
+// recipe: silicon (reference or generated), machine, and optional
+// deterministic fault arming. Fleet jobs, the CLIs and the datacenter
+// plane all construct servers through this one path.
+func BuildServer(spec PlatformSpec) (*PlatformServer, error) { return platform.Build(spec) }
+
+// ArmFaults parses a fault profile spec and arms it on a machine
+// through the shared platform recipe: nil injector for an empty or
+// "none" spec (fault-free runs keep their exact pre-fault code path),
+// seed 0 normalized to the injector default of 1.
+func ArmFaults(m *Machine, profileSpec string, seed uint64) (*FaultInjector, error) {
+	return platform.Arm(m, profileSpec, seed)
+}
+
+// ProvisionServer runs the datacenter intake pass on a built server:
+// stress-test deployment, per-core Eq. 1 predictor calibration, and
+// the idle/loaded power envelope per chip.
+func ProvisionServer(srv *PlatformServer, o ProvisionOptions) (*Provision, error) {
+	return platform.ProvisionServer(srv, o)
+}
+
+// RunDatacenter executes a rack-scale campaign: every node provisioned
+// through the fleet (sharded, cached, resumable), then the
+// hierarchical power budget and the Eq. 1 predictor-driven scheduler
+// simulated over a seeded tenant stream. The canonical result is
+// byte-identical at every worker count.
+func RunDatacenter(o DCOptions) (*DCResult, error) { return dc.Run(o) }
+
+// DatacenterCampaign builds the intake fleet campaign for a topology
+// without running it — one single-chip dcprovision job per node.
+func DatacenterCampaign(o DCOptions) *FleetCampaign { return dc.Campaign(o) }
 
 // ReferenceTableIRow returns the paper's published Table I limits for a
 // reference core label, for comparing regenerated results against the

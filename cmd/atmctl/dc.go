@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	atm "repro"
+	"repro/internal/report"
+)
+
+// cmdDC runs a rack-scale datacenter campaign: every node provisioned
+// through the fleet (sharded across -workers, content-addressed cache,
+// kill-safe -resume), then the hierarchical power budget and the Eq. 1
+// predictor-driven scheduler simulated over a seeded tenant stream.
+// Stdout carries only the canonical view — the human table or the
+// -json document — byte-identical across worker counts; provenance
+// (cache hits, campaign name) goes to stderr. Exit 3 when any chip
+// ends quarantined, any budget cap is violated, or any intake job
+// failed.
+func cmdDC(args []string) error {
+	fs := flag.NewFlagSet("dc", flag.ContinueOnError)
+	racks := fs.Int("racks", 2, "rack count")
+	chassis := fs.Int("chassis", 4, "chassis per rack")
+	chipsPer := fs.Int("chips-per-chassis", 8, "chips (single-chip nodes) per chassis")
+	workers := fs.Int("workers", 4, "intake worker pool bound (output is identical for every value)")
+	seed := fs.Uint64("seed", 1, "campaign seed: tenant stream and per-node trial seeds")
+	siliconStart := fs.Uint64("silicon-start", 1, "first node's silicon seed (node i uses silicon-start+i)")
+	tenants := fs.Int("tenants", 0, "tenant workload count (0 = 2 per chip)")
+	ticks := fs.Int("ticks", 0, "operation horizon in ticks (0 = 32)")
+	rollback := fs.Int("rollback", 0, "intake deployment safety steps below the stress-test limit")
+	rackCap := fs.Float64("rack-cap", 0, "rack PDU cap in watts (0 = derive from the provisioned envelope)")
+	chassisCap := fs.Float64("chassis-cap", 0, "chassis cap in watts (0 = derive)")
+	chipCap := fs.Float64("chip-cap", 0, "chip cap in watts (0 = derive)")
+	ki := fs.Float64("ki", 0, "per-chip integral gain of the budget controller (0 = 0.5)")
+	faultProfile := fs.String("fault-profile", "",
+		"arm this fault profile on every node (per-node seeds are independent rng splits)")
+	faultSeed := fs.Uint64("fault-seed", 1, "base fault seed the per-node streams split from")
+	cacheDir := fs.String("cache-dir", "", "content-addressed provision cache + checkpoint manifest directory")
+	resume := fs.Bool("resume", false, "continue a killed campaign from its checkpoint in -cache-dir")
+	jsonOut := fs.Bool("json", false, "emit the canonical campaign result as JSON instead of tables")
+	attach, flush := obsFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	reg, tr := attach(nil)
+	res, err := atm.RunDatacenter(atm.DCOptions{
+		Racks:           *racks,
+		ChassisPerRack:  *chassis,
+		ChipsPerChassis: *chipsPer,
+		Workers:         *workers,
+		Seed:            *seed,
+		SiliconStart:    *siliconStart,
+		Tenants:         *tenants,
+		Ticks:           *ticks,
+		Rollback:        *rollback,
+		RackCapW:        *rackCap,
+		ChassisCapW:     *chassisCap,
+		ChipCapW:        *chipCap,
+		KI:              *ki,
+		FaultProfile:    *faultProfile,
+		FaultSeed:       *faultSeed,
+		CacheDir:        *cacheDir,
+		Resume:          *resume,
+		Obs:             reg,
+		Trace:           tr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// Provenance to stderr; stdout stays canonical.
+	fmt.Fprintf(os.Stderr, "dc: campaign %s: %d node(s), %d cached, %d failed\n",
+		res.CampaignHash[:12], len(res.Chips), res.CachedJobs, len(res.FailedJobs))
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := renderDC(res); err != nil {
+		return err
+	}
+
+	quarantined := res.QuarantinedChips()
+	switch {
+	case len(res.FailedJobs) > 0 || quarantined > 0:
+		return partialf("dc: %d chip(s) quarantined (%d intake failure(s)); %d budget violation(s)",
+			quarantined, len(res.FailedJobs), res.Budget.Violations)
+	case res.Budget.Violations > 0:
+		return partialf("dc: %d budget violation(s) across %d tick(s)",
+			res.Budget.Violations, res.Topology.Ticks)
+	}
+	return nil
+}
+
+// renderDC prints the per-node intake table and the budget/placement
+// summary.
+func renderDC(res *atm.DCResult) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("Datacenter campaign: %d×%d×%d = %d chips, %d tenants over %d ticks",
+			res.Topology.Racks, res.Topology.ChassisPerRack, res.Topology.ChipsPerChassis,
+			res.Topology.Chips, res.Topology.Tenants, res.Topology.Ticks),
+		Header: []string{"node", "silicon", "idle (W)", "loaded (W)", "speed diff (MHz)", "status"},
+	}
+	for _, c := range res.Chips {
+		status := "ok"
+		switch {
+		case c.Err != "":
+			status = "quarantined: " + c.Err
+		case c.Quarantined:
+			status = "quarantined"
+		case c.QuarantinedCores > 0:
+			status = fmt.Sprintf("%d core(s) quarantined", c.QuarantinedCores)
+		}
+		t.AddRow(c.Node, fmt.Sprintf("%d", c.SiliconSeed),
+			report.F(c.IdleW, 1), report.F(c.LoadedW, 1),
+			report.F(c.SpeedDiffMHz, 0), status)
+	}
+	t.Note = fmt.Sprintf(
+		"caps rack %.0f W / chassis %.0f W / chip %.0f W (ki %.2f); peaks %.1f / %.1f / %.1f W; "+
+			"%d violation(s), %d throttle(s), %d resume(s)\n"+
+			"placement: %d placed, %d completed, %d unplaced, %d deferral(s), %d breaker rejection(s)",
+		res.Budget.RackCapW, res.Budget.ChassisCapW, res.Budget.ChipCapW, res.Budget.KI,
+		res.Budget.PeakRackW, res.Budget.PeakChassisW, res.Budget.PeakChipW,
+		res.Budget.Violations, res.Budget.ThrottleEvents, res.Budget.ResumeEvents,
+		res.Placement.Placed, res.Placement.Completed, res.Placement.Unplaced,
+		res.Placement.Deferrals, res.Placement.BreakerRejected)
+	return t.Render(os.Stdout)
+}

@@ -10,14 +10,15 @@
 //	atmctl schedule -critical squeezenet -background lu_cb [-scenario managed-balanced] [-qos 0.10]
 //	atmctl sweep -core P0C3
 //	atmctl fleet -kind montecarlo -n 32 -workers 8 [-cache-dir .fleet] [-resume]
+//	atmctl dc -racks 2 -chassis 4 -chips-per-chassis 8 -workers 8 [-json] [-cache-dir .dc] [-resume]
 //	atmctl lifetime [-years 3] [-seed 1] [-sentinel-off] [-cache-dir .fleet] [-resume]
 //	atmctl transient [-chip P0] [-steps 2000] [-stress]
-//	atmctl bench [-set kernel,e2e,fleet] [-quick] [-out BENCH_core.json] [-baseline BENCH_core.json]
+//	atmctl bench [-set kernel,e2e,fleet,dc] [-quick] [-out BENCH_core.json] [-baseline BENCH_core.json]
 //	             [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] [-trace trace.out] [-top 15]
 //	atmctl flood [-sessions 16] [-commands 200] [-seed 1] [-quick] [-out BENCH_fsp.json] [-baseline BENCH_fsp.json]
 //	atmctl status
 //
-// characterize, tune, schedule, sweep, fleet and lifetime accept
+// characterize, tune, schedule, sweep, fleet, dc and lifetime accept
 // -metrics-out and -trace-out to export the run's deterministic
 // metrics snapshot and Perfetto trace.
 //
@@ -26,8 +27,8 @@
 //
 // Exit codes: 0 success; 1 hard failure; 2 usage error; 3 completed
 // with degraded results the operator must not miss — quarantined
-// cores, failed fleet jobs, or an UNSAFE lifetime verdict — announced
-// in a one-line stderr summary.
+// cores or chips, failed fleet jobs, datacenter budget violations, or
+// an UNSAFE lifetime verdict — announced in a one-line stderr summary.
 package main
 
 import (
@@ -72,6 +73,8 @@ func run(argv []string) int {
 		err = cmdSweep(args)
 	case "fleet":
 		err = cmdFleet(args)
+	case "dc":
+		err = cmdDC(args)
 	case "lifetime":
 		err = cmdLifetime(args)
 	case "transient":
@@ -103,7 +106,7 @@ func run(argv []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|lifetime|transient|bench|flood|status> [flags]
+	fmt.Fprintln(os.Stderr, `usage: atmctl <characterize|tune|schedule|sweep|fleet|dc|lifetime|transient|bench|flood|status> [flags]
 run "atmctl <subcommand> -h" for flags`)
 }
 
@@ -168,18 +171,17 @@ func cmdStatus(args []string) error {
 	return nil
 }
 
-// machineFlag adds the -generated flag and returns a machine builder.
+// machineFlag adds the -generated flag and returns a machine builder
+// routed through the shared platform recipe, so a CLI invocation and a
+// fleet job spec materialize byte-identical servers.
 func machineFlag(fs *flag.FlagSet) func() (*atm.Machine, error) {
 	seed := fs.Uint64("generated", 0, "use Monte-Carlo silicon with this seed (0 = paper reference)")
 	return func() (*atm.Machine, error) {
-		if *seed == 0 {
-			return atm.NewReferenceMachine(), nil
-		}
-		profile, err := atm.GenerateSilicon(*seed, atm.GenerateOptions{})
+		srv, err := atm.BuildServer(atm.PlatformSpec{SiliconSeed: *seed})
 		if err != nil {
 			return nil, err
 		}
-		return atm.NewMachine(profile)
+		return srv.Machine, nil
 	}
 }
 
@@ -193,16 +195,7 @@ func faultFlag(fs *flag.FlagSet) func(*atm.Machine) (*atm.FaultInjector, error) 
 		"inject deterministic faults: preset (test-floor, flaky-fsp, noisy-cpm, broken-core) or key=value list")
 	seed := fs.Uint64("fault-seed", 1, "fault injection seed")
 	return func(m *atm.Machine) (*atm.FaultInjector, error) {
-		p, err := atm.ParseFaultProfile(*profile)
-		if err != nil {
-			return nil, err
-		}
-		if p.Empty() {
-			return nil, nil
-		}
-		inj := atm.NewFaultInjector(p, *seed)
-		inj.ArmMachine(m)
-		return inj, nil
+		return atm.ArmFaults(m, *profile, *seed)
 	}
 }
 

@@ -35,6 +35,14 @@ func TestRunExitCodes(t *testing.T) {
 		{"quarantined cores are partial", []string{"tune", "-fault-profile", "broken-core"}, 3},
 		{"lifetime safe", []string{"lifetime", "-years", "1"}, 0},
 		{"lifetime unsafe is partial", []string{"lifetime", "-years", "3", "-sentinel-off"}, 3},
+		{"dc ok", []string{"dc", "-racks", "1", "-chassis", "1", "-chips-per-chassis", "2", "-ticks", "8"}, 0},
+		{"dc bad flag", []string{"dc", "-no-such-flag"}, 2},
+		{"dc quarantined chips are partial", []string{"dc",
+			"-racks", "1", "-chassis", "1", "-chips-per-chassis", "2", "-ticks", "8",
+			"-fault-profile", "test-floor,broken=8", "-fault-seed", "5"}, 3},
+		{"dc budget violation is partial", []string{"dc",
+			"-racks", "1", "-chassis", "1", "-chips-per-chassis", "2", "-ticks", "8",
+			"-chassis-cap", "30"}, 3},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

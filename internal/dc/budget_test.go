@@ -1,0 +1,145 @@
+package dc
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestWaterFillConservesAndCaps(t *testing.T) {
+	cases := []struct {
+		budget float64
+		need   []float64
+	}{
+		{100, []float64{10, 20, 30, 40}},       // budget covers all needs
+		{50, []float64{40, 40, 40, 40}},        // equal split
+		{60, []float64{5, 100, 100, 100}},      // one small child frees residue
+		{0, []float64{10, 10}},                 // nothing to give
+		{30, []float64{0, 0, 0}},               // nothing wanted
+		{70, []float64{1, 2, 3, 100}},          // heavy skew
+		{33.3, []float64{11.1, 11.1, 11.1, 1}}, // fractional
+	}
+	out := make([]float64, 8)
+	for _, tc := range cases {
+		o := out[:len(tc.need)]
+		waterFill(tc.budget, tc.need, o)
+		if s := sum(o); s > tc.budget+1e-6 {
+			t.Errorf("waterFill(%v, %v) = %v: sum %v exceeds budget", tc.budget, tc.need, o, s)
+		}
+		for i := range o {
+			if o[i] > tc.need[i]+1e-6 {
+				t.Errorf("waterFill(%v, %v): child %d got %v > need %v", tc.budget, tc.need, i, o[i], tc.need[i])
+			}
+			if o[i] < 0 {
+				t.Errorf("waterFill(%v, %v): child %d negative grant %v", tc.budget, tc.need, i, o[i])
+			}
+		}
+		// When the budget covers every need, everyone is satisfied.
+		if tc.budget >= sum(tc.need) {
+			for i := range o {
+				if math.Abs(o[i]-tc.need[i]) > 1e-6 {
+					t.Errorf("waterFill(%v, %v): slack budget but child %d got %v, want %v",
+						tc.budget, tc.need, i, o[i], tc.need[i])
+				}
+			}
+		}
+	}
+}
+
+func TestApportionRespectsEveryLevel(t *testing.T) {
+	const (
+		racks, chassisPerRack, chipsPerChassis = 2, 3, 4
+		rackCap, chassisCap, chipCap           = 500.0, 200.0, 80.0
+	)
+	n := racks * chassisPerRack * chipsPerChassis
+	idle := make([]float64, n)
+	req := make([]float64, n)
+	for i := range idle {
+		idle[i] = 20 + float64(i%5)
+		req[i] = 30 + float64(i*7%90) // some above chipCap, some below idle
+	}
+	tree := NewBudgetTree(racks, chassisPerRack, chipsPerChassis, rackCap, chassisCap, chipCap, 0.5, idle)
+	tree.Apportion(req)
+
+	idx := 0
+	for r := 0; r < racks; r++ {
+		rackSum := 0.0
+		for c := 0; c < chassisPerRack; c++ {
+			chassisSum := 0.0
+			for s := 0; s < chipsPerChassis; s++ {
+				g := tree.Grant(idx)
+				if g > chipCap+1e-6 {
+					t.Errorf("chip %d grant %v exceeds chip cap %v", idx, g, chipCap)
+				}
+				chassisSum += g
+				idx++
+			}
+			if chassisSum > chassisCap+1e-6 {
+				t.Errorf("rack %d chassis %d grants sum %v exceeds chassis cap %v", r, c, chassisSum, chassisCap)
+			}
+			rackSum += chassisSum
+		}
+		if rackSum > rackCap+1e-6 {
+			t.Errorf("rack %d grants sum %v exceeds rack cap %v", r, rackSum, rackCap)
+		}
+	}
+}
+
+func TestRegulateRampAndClamp(t *testing.T) {
+	idle := []float64{10, 10}
+	tree := NewBudgetTree(1, 1, 2, 100, 100, 50, 0.5, idle)
+	tree.Apportion([]float64{40, 40})
+	if g := tree.Grant(0); math.Abs(g-40) > 1e-6 {
+		t.Fatalf("grant = %v, want 40", g)
+	}
+	// The integral state starts at the idle floor: allowance is gated.
+	if a := tree.Allowance(0); math.Abs(a-10) > 1e-6 {
+		t.Fatalf("initial allowance = %v, want idle floor 10", a)
+	}
+	// Idle measurement winds soft toward the grant: 10 + 0.5·(40−10) = 25.
+	tree.Regulate([]float64{10, 10})
+	if a := tree.Allowance(0); math.Abs(a-25) > 1e-6 {
+		t.Fatalf("allowance after one tick = %v, want 25", a)
+	}
+	// Convergence: allowance reaches the grant and never exceeds it.
+	for i := 0; i < 60; i++ {
+		tree.Regulate([]float64{10, 10})
+	}
+	if a := tree.Allowance(0); math.Abs(a-40) > 1e-6 {
+		t.Fatalf("converged allowance = %v, want grant 40", a)
+	}
+	// Over-draw winds soft down, floored at idle.
+	for i := 0; i < 200; i++ {
+		tree.Regulate([]float64{500, 500})
+	}
+	if a := tree.Allowance(0); math.Abs(a-10) > 1e-6 {
+		t.Fatalf("floored allowance = %v, want idle 10", a)
+	}
+}
+
+func TestBudgetStepAllocFree(t *testing.T) {
+	n := 2 * 4 * 8
+	idle := make([]float64, n)
+	req := make([]float64, n)
+	meas := make([]float64, n)
+	for i := range idle {
+		idle[i] = 50
+		req[i] = 80 + float64(i%30)
+		meas[i] = 60
+	}
+	tree := NewBudgetTree(2, 4, 8, 2000, 600, 150, 0.5, idle)
+	allocs := testing.AllocsPerRun(100, func() {
+		tree.Apportion(req)
+		tree.Regulate(meas)
+	})
+	if allocs != 0 {
+		t.Fatalf("budget step allocates %v per op, want 0", allocs)
+	}
+}

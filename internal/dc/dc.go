@@ -1,0 +1,440 @@
+// Package dc is the datacenter plane: a deterministic rack-scale
+// simulation where racks hold chassis of simulated POWER servers, each
+// manufactured from its own silicon seed and fine-tuned through the
+// full ATM stress-test flow. The plane has two phases:
+//
+//  1. Intake — every node is provisioned through internal/platform as
+//     a fleet dcprovision job (sharded across workers, content-
+//     addressed cache, kill-safe -resume): stress-test deployment,
+//     per-core Eq. 1 frequency-predictor calibration, and the
+//     idle/loaded power envelope. A node whose provision fails is
+//     quarantined behind a tripped circuit breaker; the rack keeps
+//     going.
+//  2. Operation — a single-threaded tick loop runs the hierarchical
+//     power budget (rack PDU → chassis → chip water-fill with a
+//     Chen-style integral controller per chip, see budget.go) and the
+//     predictor-driven global scheduler (place.go) over a seeded
+//     tenant arrival stream.
+//
+// Both phases are pure functions of Options: the canonical Result
+// serializes byte-identically at every worker count, plain or faulted,
+// fresh or resumed.
+package dc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Options configures a datacenter campaign. The zero value of every
+// field selects the noted default.
+type Options struct {
+	// Racks, ChassisPerRack, ChipsPerChassis shape the topology.
+	// Defaults 1, 2, 4.
+	Racks           int
+	ChassisPerRack  int
+	ChipsPerChassis int
+	// Workers bounds the intake phase's fleet pool (<=0 = 1). The
+	// result is byte-identical for every value.
+	Workers int
+	// Seed drives the tenant stream and the per-node trial seeds
+	// (node i deploys with Seed+i). Default 1.
+	Seed uint64
+	// SiliconStart is the first node's silicon seed; node i is
+	// manufactured from SiliconStart+i. Default 1.
+	SiliconStart uint64
+	// Tenants is the workload count (0 = 2 per chip).
+	Tenants int
+	// Ticks is the operation horizon (0 = 32).
+	Ticks int
+	// Rollback is the intake deployment's extra safety margin.
+	Rollback int
+	// RackCapW, ChassisCapW, ChipCapW cap each level of the budget
+	// hierarchy. 0 derives the cap from the provisioned envelope (see
+	// autoCaps): tight enough that the controller visibly throttles,
+	// loose enough that idle draw always fits.
+	RackCapW    float64
+	ChassisCapW float64
+	ChipCapW    float64
+	// KI is the per-chip integral gain (0 = 0.5).
+	KI float64
+	// FaultProfile, when non-empty, arms deterministic fault injection
+	// on every node, each with an independent stream split from
+	// FaultSeed by node ID.
+	FaultProfile string
+	FaultSeed    uint64
+	// CacheDir/Resume pass through to the intake fleet (content-
+	// addressed provision cache, kill-safe resume).
+	CacheDir string
+	Resume   bool
+	// Obs, when non-nil, collects budget-loop gauges, placement and
+	// throttle counters, and the intake fleet's own series.
+	Obs *obs.Registry
+	// Trace, when non-nil, records the intake job spans (via the
+	// fleet) and one span per placed tenant on the tick axis, emitted
+	// in tenant order after the sim so the trace is deterministic.
+	Trace *obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Racks <= 0 {
+		o.Racks = 1
+	}
+	if o.ChassisPerRack <= 0 {
+		o.ChassisPerRack = 2
+	}
+	if o.ChipsPerChassis <= 0 {
+		o.ChipsPerChassis = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SiliconStart == 0 {
+		o.SiliconStart = 1
+	}
+	chips := o.Racks * o.ChassisPerRack * o.ChipsPerChassis
+	if o.Tenants == 0 {
+		o.Tenants = 2 * chips
+	}
+	if o.Ticks <= 0 {
+		o.Ticks = 32
+	}
+	if o.KI <= 0 {
+		o.KI = 0.5
+	}
+	return o
+}
+
+// Topology records the campaign's shape in the result document.
+type Topology struct {
+	Racks           int    `json:"racks"`
+	ChassisPerRack  int    `json:"chassis_per_rack"`
+	ChipsPerChassis int    `json:"chips_per_chassis"`
+	Chips           int    `json:"chips"`
+	Tenants         int    `json:"tenants"`
+	Ticks           int    `json:"ticks"`
+	Seed            uint64 `json:"seed"`
+	SiliconStart    uint64 `json:"silicon_start"`
+	FaultProfile    string `json:"fault_profile,omitempty"`
+}
+
+// ChipSummary is one node's intake outcome.
+type ChipSummary struct {
+	Node        string `json:"node"`
+	SiliconSeed uint64 `json:"silicon_seed"`
+	// Err is the node's provision failure ("" on success). Failed
+	// nodes are quarantined behind a tripped breaker.
+	Err              string  `json:"err,omitempty"`
+	Quarantined      bool    `json:"quarantined,omitempty"`
+	QuarantinedCores int     `json:"quarantined_cores,omitempty"`
+	IdleW            float64 `json:"idle_w,omitempty"`
+	LoadedW          float64 `json:"loaded_w,omitempty"`
+	SpeedDiffMHz     float64 `json:"speed_diff_mhz,omitempty"`
+}
+
+// TenantOutcome is one workload's fate.
+type TenantOutcome struct {
+	ID       int    `json:"id"`
+	Workload string `json:"workload"`
+	Critical bool   `json:"critical,omitempty"`
+	Arrival  int    `json:"arrival"`
+	// Node/Core locate the placement ("" if never placed).
+	Node string `json:"node,omitempty"`
+	Core string `json:"core,omitempty"`
+	// PredFreqMHz is the Eq. 1 predicted frequency at placement time —
+	// the number the scheduler maximized.
+	PredFreqMHz    float64 `json:"pred_freq_mhz,omitempty"`
+	Start          int     `json:"start,omitempty"`
+	End            int     `json:"end,omitempty"`
+	ThrottledTicks int     `json:"throttled_ticks,omitempty"`
+	Placed         bool    `json:"placed,omitempty"`
+	Completed      bool    `json:"completed,omitempty"`
+}
+
+// TickRow is one operation tick of the budget timeline: the maximum
+// draw seen at each level against its cap, and the scheduler state.
+type TickRow struct {
+	Tick        int     `json:"tick"`
+	RackMaxW    float64 `json:"rack_max_w"`
+	ChassisMaxW float64 `json:"chassis_max_w"`
+	ChipMaxW    float64 `json:"chip_max_w"`
+	Queued      int     `json:"queued"`
+	Running     int     `json:"running"`
+	Throttled   int     `json:"throttled"`
+	// Violations counts cap breaches at any level this tick. The
+	// water-fill + min(grant, soft) design keeps this zero unless a
+	// caller forces a cap below the fleet's idle draw.
+	Violations int `json:"violations"`
+}
+
+// BudgetSummary records the hierarchy's configuration and outcome.
+type BudgetSummary struct {
+	RackCapW       float64 `json:"rack_cap_w"`
+	ChassisCapW    float64 `json:"chassis_cap_w"`
+	ChipCapW       float64 `json:"chip_cap_w"`
+	KI             float64 `json:"ki"`
+	PeakRackW      float64 `json:"peak_rack_w"`
+	PeakChassisW   float64 `json:"peak_chassis_w"`
+	PeakChipW      float64 `json:"peak_chip_w"`
+	Violations     int     `json:"violations"`
+	ThrottleEvents int     `json:"throttle_events"`
+	ResumeEvents   int     `json:"resume_events"`
+}
+
+// PlacementSummary records the scheduler's outcome.
+type PlacementSummary struct {
+	Placed          int   `json:"placed"`
+	Completed       int   `json:"completed"`
+	Unplaced        int   `json:"unplaced"`
+	Deferrals       int   `json:"deferrals"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+}
+
+// Result is the campaign's canonical outcome: byte-identical across
+// worker counts and across fresh, cached, and resumed intakes.
+type Result struct {
+	Topology     Topology         `json:"topology"`
+	CampaignHash string           `json:"campaign_hash"`
+	Chips        []ChipSummary    `json:"chips"`
+	Tenants      []TenantOutcome  `json:"tenants"`
+	Timeline     []TickRow        `json:"timeline"`
+	Budget       BudgetSummary    `json:"budget"`
+	Placement    PlacementSummary `json:"placement"`
+
+	// FailedJobs lists intake jobs that failed (provenance for the
+	// exit-code contract; the nodes are quarantined, not fatal).
+	FailedJobs []string `json:"failed_jobs,omitempty"`
+	// CachedJobs counts intake results served from the cache. Cached
+	// is provenance, not content: it is excluded from the canonical
+	// serialization so resumed campaigns stay byte-identical.
+	CachedJobs int `json:"-"`
+}
+
+// QuarantinedChips counts nodes the scheduler never places on.
+func (r *Result) QuarantinedChips() int {
+	n := 0
+	for _, c := range r.Chips {
+		if c.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON writes the canonical result document with a trailing
+// newline.
+func (r *Result) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// NodeID names a chip slot: rack, chassis, slot in topology order.
+func NodeID(rack, chassis, slot int) string {
+	return fmt.Sprintf("r%02dc%02ds%02d", rack, chassis, slot)
+}
+
+// Campaign builds the intake fleet campaign for the topology: one
+// single-chip dcprovision job per node, silicon seeds SiliconStart+i,
+// trial seeds Seed+i, fault streams split from FaultSeed by node ID.
+func Campaign(o Options) *fleet.Campaign {
+	o = o.withDefaults()
+	name := fmt.Sprintf("dc-r%dc%ds%d-s%d", o.Racks, o.ChassisPerRack, o.ChipsPerChassis, o.SiliconStart)
+	if o.FaultProfile != "" {
+		name += "-faulted"
+	}
+	c := &fleet.Campaign{Name: name}
+	i := 0
+	for r := 0; r < o.Racks; r++ {
+		for ch := 0; ch < o.ChassisPerRack; ch++ {
+			for s := 0; s < o.ChipsPerChassis; s++ {
+				node := NodeID(r, ch, s)
+				j := fleet.Job{
+					ID:          "dc-" + node,
+					Kind:        fleet.KindDCProvision,
+					SiliconSeed: o.SiliconStart + uint64(i),
+					Chips:       1,
+					Seed:        o.Seed + uint64(i),
+					Rollback:    o.Rollback,
+				}
+				if o.FaultProfile != "" {
+					j.FaultProfile = o.FaultProfile
+					base := o.FaultSeed
+					if base == 0 {
+						base = 1
+					}
+					seed := rng.New(base).Split("dc/" + node).Uint64()
+					if seed == 0 {
+						seed = 1
+					}
+					j.FaultSeed = seed
+				}
+				c.Jobs = append(c.Jobs, j)
+				i++
+			}
+		}
+	}
+	return c
+}
+
+// Run executes the campaign: sharded intake, then the budget/placement
+// simulation. A failed node quarantines its chip and the run
+// continues; Run errors only on spec or infrastructure failures.
+func Run(o Options) (*Result, error) {
+	o = o.withDefaults()
+	campaign := Campaign(o)
+	fres, err := fleet.Run(campaign, fleet.Options{
+		Workers:  o.Workers,
+		CacheDir: o.CacheDir,
+		Resume:   o.Resume,
+		Obs:      o.Obs,
+		Trace:    o.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simulate(o, campaign, fres)
+}
+
+// intakeChips turns the merged fleet results into the scheduler's chip
+// view plus the per-node summaries, in topology order. Failed nodes
+// get a breaker tripped open past the sim horizon.
+func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSummary) {
+	chips := make([]PlacerChip, len(fres.Results))
+	sums := make([]ChipSummary, len(fres.Results))
+	i := 0
+	for r := 0; r < o.Racks; r++ {
+		for ch := 0; ch < o.ChassisPerRack; ch++ {
+			for s := 0; s < o.ChipsPerChassis; s++ {
+				node := NodeID(r, ch, s)
+				res := fres.Results[i]
+				sum := ChipSummary{Node: node, SiliconSeed: o.SiliconStart + uint64(i)}
+				pc := PlacerChip{ID: node, Breaker: guard.NewBreaker(guard.BreakerOptions{
+					Name: "dc/" + node,
+					// One failed provision quarantines the node; the
+					// open window outlasts any sim horizon so the
+					// breaker never half-opens into a broken chip.
+					FailureThreshold: 1,
+					OpenTicks:        1 << 40,
+					Obs:              o.Obs,
+				})}
+				prov, derr := res.DCProvision()
+				switch {
+				case derr != nil:
+					sum.Err = res.Err
+					if sum.Err == "" {
+						sum.Err = derr.Error()
+					}
+					sum.Quarantined = true
+					pc.Quarantined = true
+					pc.Breaker.Failure()
+				case len(prov.Provision.Chips) != 1:
+					sum.Err = fmt.Sprintf("dc: node %s provisioned %d chips, want 1", node, len(prov.Provision.Chips))
+					sum.Quarantined = true
+					pc.Quarantined = true
+					pc.Breaker.Failure()
+				default:
+					cp := prov.Provision.Chips[0]
+					sum.IdleW = cp.IdleW
+					sum.LoadedW = cp.LoadedW
+					sum.SpeedDiffMHz = prov.Provision.SpeedDiffMHz
+					pc.IdleW = cp.IdleW
+					pc.SpanW = 0
+					if n := len(cp.Cores); n > 0 {
+						pc.SpanW = (cp.LoadedW - cp.IdleW) / float64(n)
+					}
+					live := 0
+					for _, core := range cp.Cores {
+						pc.Cores = append(pc.Cores, PlacerCore{
+							Label:       core.Core,
+							Quarantined: core.Quarantined,
+							Slope:       core.FreqSlope,
+							Intercept:   core.FreqIntercept,
+						})
+						if core.Quarantined {
+							sum.QuarantinedCores++
+						} else {
+							live++
+						}
+					}
+					if live == 0 {
+						sum.Quarantined = true
+						pc.Quarantined = true
+						pc.Breaker.Failure()
+					}
+				}
+				chips[i] = pc
+				sums[i] = sum
+				i++
+			}
+		}
+	}
+	return chips, sums
+}
+
+// autoCaps derives the budget caps not set explicitly. The chip cap
+// sits at 92% of the hottest provisioned envelope (so a fully loaded
+// chip must be throttled), the chassis cap at 75% of its chips' summed
+// caps, the rack cap at 85% of its chassis' — each floored at 105% of
+// the level's worst-case idle draw so an idle fleet always fits.
+func autoCaps(o Options, chips []PlacerChip) (rackCap, chassisCap, chipCap float64) {
+	rackCap, chassisCap, chipCap = o.RackCapW, o.ChassisCapW, o.ChipCapW
+	if chipCap == 0 {
+		maxLoaded := 0.0
+		for i := range chips {
+			loaded := chips[i].IdleW + chips[i].SpanW*float64(len(chips[i].Cores))
+			if !chips[i].Quarantined && loaded > maxLoaded {
+				maxLoaded = loaded
+			}
+		}
+		if maxLoaded == 0 {
+			maxLoaded = 100 // every node quarantined; any positive cap does
+		}
+		chipCap = 0.92 * maxLoaded
+	}
+	maxChassisIdle, maxRackIdle := 0.0, 0.0
+	for r := 0; r < o.Racks; r++ {
+		rackIdle := 0.0
+		for c := 0; c < o.ChassisPerRack; c++ {
+			idle := 0.0
+			for s := 0; s < o.ChipsPerChassis; s++ {
+				i := (r*o.ChassisPerRack+c)*o.ChipsPerChassis + s
+				if !chips[i].Quarantined {
+					idle += chips[i].IdleW
+				}
+			}
+			if idle > maxChassisIdle {
+				maxChassisIdle = idle
+			}
+			rackIdle += idle
+		}
+		if rackIdle > maxRackIdle {
+			maxRackIdle = rackIdle
+		}
+	}
+	if chassisCap == 0 {
+		chassisCap = 0.75 * float64(o.ChipsPerChassis) * chipCap
+		if floor := 1.05 * maxChassisIdle; chassisCap < floor {
+			chassisCap = floor
+		}
+	}
+	if rackCap == 0 {
+		rackCap = 0.85 * float64(o.ChassisPerRack) * chassisCap
+		if floor := 1.05 * maxRackIdle; rackCap < floor {
+			rackCap = floor
+		}
+	}
+	return rackCap, chassisCap, chipCap
+}

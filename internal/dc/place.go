@@ -1,0 +1,145 @@
+package dc
+
+import "repro/internal/guard"
+
+// The global scheduler's placement core. Every chip carries the Eq. 1
+// per-core frequency fits from its datacenter intake (platform
+// provision): f ≈ slope·P + intercept with slope negative, so the
+// predicted frequency of a candidate core falls as the chip's
+// projected power rises. Place scans every live chip the budget
+// admits and picks the (chip, core) pair with the highest predicted
+// frequency — the predictor-driven placement the ROADMAP's datacenter
+// item asks for.
+
+// PlacerCore is one schedulable core: its label and Eq. 1 fit.
+type PlacerCore struct {
+	Label       string
+	Quarantined bool
+	// Slope/Intercept are the core's Eq. 1 frequency fit (MHz per
+	// watt, MHz). Zero for quarantined cores.
+	Slope     float64
+	Intercept float64
+}
+
+// PlacerChip is one chip in the scheduler's view.
+type PlacerChip struct {
+	// ID is the node ID ("r00c01s03").
+	ID string
+	// Quarantined marks a chip the scheduler never places on: every
+	// core quarantined at intake.
+	Quarantined bool
+	// IdleW is the chip's measured all-idle power; SpanW is the
+	// measured per-core idle→loaded span (the power one fully loaded
+	// core adds).
+	IdleW float64
+	SpanW float64
+	// Breaker guards the chip: tripped open at intake when the node's
+	// provision failed outright, so placement sheds it without
+	// consulting its (absent) predictors. Nil admits everything.
+	Breaker *guard.Breaker
+	Cores   []PlacerCore
+
+	// demand is the chip's current modeled power draw (idle + running
+	// tenants); busy marks occupied cores.
+	demand    float64
+	busy      []bool
+	freeCores int
+}
+
+// Placer scans chips in topology order; ties in predicted frequency
+// break toward the earlier chip and core, so placement is a pure
+// function of (chips, demands, allowances).
+type Placer struct {
+	Chips []PlacerChip
+}
+
+// NewPlacer finalizes the per-chip occupancy state. Quarantined chips
+// and cores are excluded from the schedulable pool.
+func NewPlacer(chips []PlacerChip) *Placer {
+	p := &Placer{Chips: chips}
+	for i := range p.Chips {
+		ch := &p.Chips[i]
+		ch.busy = make([]bool, len(ch.Cores))
+		ch.freeCores = 0
+		ch.demand = ch.IdleW
+		if ch.Quarantined {
+			ch.demand = 0
+			continue
+		}
+		for _, c := range ch.Cores {
+			if !c.Quarantined {
+				ch.freeCores++
+			}
+		}
+	}
+	return p
+}
+
+// Demand returns chip i's current modeled power draw.
+func (p *Placer) Demand(i int) float64 { return p.Chips[i].demand }
+
+// FreeCores returns chip i's schedulable idle core count.
+func (p *Placer) FreeCores(i int) int { return p.Chips[i].freeCores }
+
+// Place finds the best admission for a tenant with relative dynamic
+// power cdyn: among chips whose breaker admits and whose projected
+// draw (current demand + cdyn·span) fits the budget allowance, the
+// free core with the highest Eq. 1 predicted frequency at the
+// projected power. On success the core is marked busy and the chip's
+// demand advanced. allow is indexed in topology order.
+//
+//atm:hotpath
+func (p *Placer) Place(cdyn float64, allow []float64) (chipIdx, coreIdx int, predMHz float64, ok bool) {
+	bestChip, bestCore := -1, -1
+	bestPred := 0.0
+	for i := range p.Chips {
+		ch := &p.Chips[i]
+		if !ch.Breaker.Allow() {
+			continue
+		}
+		if ch.Quarantined || ch.freeCores == 0 {
+			continue
+		}
+		projected := ch.demand + cdyn*ch.SpanW
+		if projected > allow[i]+budgetEps {
+			continue
+		}
+		for j := range ch.Cores {
+			c := &ch.Cores[j]
+			if c.Quarantined || ch.busy[j] {
+				continue
+			}
+			pred := c.Slope*projected + c.Intercept
+			if bestChip < 0 || pred > bestPred {
+				bestChip, bestCore, bestPred = i, j, pred
+			}
+		}
+	}
+	if bestChip < 0 {
+		return 0, 0, 0, false
+	}
+	ch := &p.Chips[bestChip]
+	ch.busy[bestCore] = true
+	ch.freeCores--
+	ch.demand += cdyn * ch.SpanW
+	return bestChip, bestCore, bestPred, true
+}
+
+// Release frees a core and retires its tenant's power draw.
+//
+//atm:hotpath
+func (p *Placer) Release(chipIdx, coreIdx int, cdyn float64) {
+	ch := &p.Chips[chipIdx]
+	ch.busy[coreIdx] = false
+	ch.freeCores++
+	ch.demand -= cdyn * ch.SpanW
+}
+
+// AddDemand adjusts a chip's modeled draw without touching occupancy —
+// the throttle bookkeeping: a throttled tenant keeps its core but
+// stops drawing its span.
+//
+//atm:hotpath
+func (p *Placer) AddDemand(chipIdx int, delta float64) {
+	p.Chips[chipIdx].demand += delta
+}

@@ -1,0 +1,356 @@
+package dc
+
+import (
+	"sort"
+
+	"repro/internal/fleet"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// The operation phase: a single-threaded deterministic tick loop over
+// the intaken fleet. Per tick:
+//
+//	completions → arrivals → Apportion → placement → throttle/resume
+//	→ measure → Regulate → record
+//
+// Placement admits against Allowance (this tick's grant gated by the
+// previous tick's integral state), so a freshly granted chip ramps up
+// over a few ticks — the Chen controller's soft start. Throttling
+// (background tenants first, most recent placement first) enforces
+// demand ≤ allowance per chip; a throttled tenant keeps its core but
+// draws no span power and makes no progress.
+
+// tenant is one workload's sim state.
+type tenant struct {
+	id       int
+	wl       workload.Profile
+	critical bool
+	arrival  int
+	duration int
+
+	chip, core int // -1 while unplaced
+	coreLabel  string
+	predMHz    float64
+	start, end int
+	remaining  int
+
+	placed, completed, throttled bool
+	throttledTicks               int
+}
+
+// makeTenants draws the arrival stream from its own labelled split of
+// the campaign seed: realistic workloads, arrivals over the first half
+// of the horizon, durations up to a quarter of it.
+func makeTenants(o Options) []*tenant {
+	src := rng.New(o.Seed).Split("dc/tenants")
+	pool := workload.Realistic()
+	arrivalSpan := o.Ticks / 2
+	if arrivalSpan < 1 {
+		arrivalSpan = 1
+	}
+	durSpan := o.Ticks / 4
+	if durSpan < 1 {
+		durSpan = 1
+	}
+	out := make([]*tenant, o.Tenants)
+	for i := range out {
+		wl := pool[src.Intn(len(pool))]
+		out[i] = &tenant{
+			id:       i,
+			wl:       wl,
+			critical: wl.Role == workload.RoleCritical,
+			arrival:  src.Intn(arrivalSpan),
+			duration: 1 + src.Intn(durSpan),
+			chip:     -1,
+			core:     -1,
+		}
+		out[i].remaining = out[i].duration
+	}
+	return out
+}
+
+// simulate runs the operation phase over the merged intake results and
+// assembles the canonical Result.
+func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (*Result, error) {
+	chips, sums := intakeChips(o, fres)
+	rackCap, chassisCap, chipCap := autoCaps(o, chips)
+
+	nChips := len(chips)
+	idle := make([]float64, nChips)
+	for i := range chips {
+		if !chips[i].Quarantined {
+			idle[i] = chips[i].IdleW
+		}
+	}
+	tree := NewBudgetTree(o.Racks, o.ChassisPerRack, o.ChipsPerChassis, rackCap, chassisCap, chipCap, o.KI, idle)
+	placer := NewPlacer(chips)
+	tenants := makeTenants(o)
+
+	// Obs handles resolved once, outside the loop.
+	var (
+		placements = o.Obs.Counter("dc_placements_total")
+		deferrals  = o.Obs.Counter("dc_deferrals_total")
+		throttles  = o.Obs.Counter("dc_throttle_events_total")
+		resumes    = o.Obs.Counter("dc_resume_events_total")
+		violationC = o.Obs.Counter("dc_budget_violations_total")
+		rackG      = o.Obs.Gauge("dc_rack_power_watts_max")
+		chassisG   = o.Obs.Gauge("dc_chassis_power_watts_max")
+		chipG      = o.Obs.Gauge("dc_chip_power_watts_max")
+		queuedG    = o.Obs.Gauge("dc_tenants_queued")
+		runningG   = o.Obs.Gauge("dc_tenants_running")
+	)
+
+	request := make([]float64, nChips)
+	grants := make([]float64, nChips)
+	allow := make([]float64, nChips)
+	measured := make([]float64, nChips)
+	// perChip tracks each chip's tenants in placement order for the
+	// throttle scan.
+	perChip := make([][]*tenant, nChips)
+
+	res := &Result{
+		Topology: Topology{
+			Racks:           o.Racks,
+			ChassisPerRack:  o.ChassisPerRack,
+			ChipsPerChassis: o.ChipsPerChassis,
+			Chips:           nChips,
+			Tenants:         o.Tenants,
+			Ticks:           o.Ticks,
+			Seed:            o.Seed,
+			SiliconStart:    o.SiliconStart,
+			FaultProfile:    o.FaultProfile,
+		},
+		CampaignHash: campaign.Hash(),
+		Chips:        sums,
+		FailedJobs:   fres.Failed(),
+		CachedJobs:   fres.CachedCount(),
+		Budget: BudgetSummary{
+			RackCapW:    rackCap,
+			ChassisCapW: chassisCap,
+			ChipCapW:    chipCap,
+			KI:          o.KI,
+		},
+	}
+
+	var queue []*tenant
+	var running []*tenant
+	for tick := 0; tick < o.Ticks; tick++ {
+		// Completions: un-throttled tenants burn one tick of work.
+		live := running[:0]
+		for _, t := range running {
+			if !t.throttled {
+				t.remaining--
+			}
+			if t.remaining == 0 {
+				t.completed = true
+				t.end = tick
+				placer.Release(t.chip, t.core, t.wl.CdynRel)
+				perChip[t.chip] = removeTenant(perChip[t.chip], t)
+				res.Placement.Completed++
+				continue
+			}
+			live = append(live, t)
+		}
+		running = live
+
+		// Arrivals join the queue, critical tenants ahead of the rest,
+		// ID order within a class (stable sort on a deterministic
+		// insertion order).
+		for _, t := range tenants {
+			if t.arrival == tick {
+				queue = append(queue, t)
+			}
+		}
+		sort.SliceStable(queue, func(i, j int) bool {
+			if queue[i].critical != queue[j].critical {
+				return queue[i].critical
+			}
+			return queue[i].id < queue[j].id
+		})
+
+		// Budget: requests follow demand plus headroom for one more
+		// core, so grants track where tenants actually run — a chip
+		// asks for what it draws, not its whole envelope. Under
+		// contention the water-fill equalizes shares below a heavy
+		// chip's demand and the throttle path engages.
+		for i := range request {
+			if chips[i].Quarantined {
+				request[i] = 0
+				continue
+			}
+			request[i] = placer.Demand(i)
+			if placer.FreeCores(i) > 0 {
+				request[i] += chips[i].SpanW
+			}
+		}
+		tree.Apportion(request)
+		for i := range allow {
+			grants[i] = tree.Grant(i)
+			allow[i] = tree.Allowance(i)
+		}
+
+		// Placement from the head of the queue. Admission is against
+		// the water-filled grant — what the hierarchy says the chip
+		// may draw — while the throttle below enforces the integral
+		// allowance, so a fresh placement sheds for a tick or two
+		// until the Chen controller winds its soft state up to the
+		// grant (the soft start), then resumes.
+		still := queue[:0]
+		for _, t := range queue {
+			ci, cj, pred, ok := placer.Place(t.wl.CdynRel, grants)
+			if !ok {
+				deferrals.Inc()
+				res.Placement.Deferrals++
+				still = append(still, t)
+				continue
+			}
+			t.chip, t.core = ci, cj
+			t.coreLabel = chips[ci].Cores[cj].Label
+			t.predMHz = pred
+			t.start = tick
+			t.placed = true
+			perChip[ci] = append(perChip[ci], t)
+			running = append(running, t)
+			placements.Inc()
+			res.Placement.Placed++
+		}
+		queue = still
+
+		// Throttle/resume against the allowance: resume in placement
+		// order (critical tenants were queued first), then shed from
+		// the tail — background before critical — until demand fits.
+		for i := range chips {
+			for _, t := range perChip[i] {
+				if t.throttled && placer.Demand(i)+t.wl.CdynRel*chips[i].SpanW <= allow[i]+budgetEps {
+					t.throttled = false
+					placer.AddDemand(i, t.wl.CdynRel*chips[i].SpanW)
+					resumes.Inc()
+					res.Budget.ResumeEvents++
+				}
+			}
+			for pass := 0; pass < 2 && placer.Demand(i) > allow[i]+budgetEps; pass++ {
+				critPass := pass == 1
+				list := perChip[i]
+				for k := len(list) - 1; k >= 0 && placer.Demand(i) > allow[i]+budgetEps; k-- {
+					t := list[k]
+					if t.throttled || t.critical != critPass {
+						continue
+					}
+					t.throttled = true
+					placer.AddDemand(i, -t.wl.CdynRel*chips[i].SpanW)
+					throttles.Inc()
+					res.Budget.ThrottleEvents++
+				}
+			}
+		}
+
+		// Measure and regulate.
+		for i := range measured {
+			measured[i] = placer.Demand(i)
+		}
+		tree.Regulate(measured)
+
+		// Record the tick: level maxima and cap violations.
+		row := TickRow{Tick: tick, Queued: len(queue), Running: len(running)}
+		for _, t := range running {
+			if t.throttled {
+				t.throttledTicks++
+				row.Throttled++
+			}
+		}
+		idx := 0
+		for r := 0; r < o.Racks; r++ {
+			rackW := 0.0
+			for c := 0; c < o.ChassisPerRack; c++ {
+				chassisW := 0.0
+				for s := 0; s < o.ChipsPerChassis; s++ {
+					w := measured[idx]
+					chassisW += w
+					if w > row.ChipMaxW {
+						row.ChipMaxW = w
+					}
+					if w > chipCap+budgetEps {
+						row.Violations++
+					}
+					idx++
+				}
+				rackW += chassisW
+				if chassisW > row.ChassisMaxW {
+					row.ChassisMaxW = chassisW
+				}
+				if chassisW > chassisCap+budgetEps {
+					row.Violations++
+				}
+			}
+			if rackW > row.RackMaxW {
+				row.RackMaxW = rackW
+			}
+			if rackW > rackCap+budgetEps {
+				row.Violations++
+			}
+		}
+		res.Budget.Violations += row.Violations
+		violationC.Add(int64(row.Violations))
+		if row.RackMaxW > res.Budget.PeakRackW {
+			res.Budget.PeakRackW = row.RackMaxW
+		}
+		if row.ChassisMaxW > res.Budget.PeakChassisW {
+			res.Budget.PeakChassisW = row.ChassisMaxW
+		}
+		if row.ChipMaxW > res.Budget.PeakChipW {
+			res.Budget.PeakChipW = row.ChipMaxW
+		}
+		rackG.Set(row.RackMaxW)
+		chassisG.Set(row.ChassisMaxW)
+		chipG.Set(row.ChipMaxW)
+		queuedG.Set(float64(row.Queued))
+		runningG.Set(float64(row.Running))
+		res.Timeline = append(res.Timeline, row)
+	}
+
+	// Outcomes in tenant order; spans on the tick axis after the loop
+	// so the trace is deterministic.
+	for _, t := range tenants {
+		out := TenantOutcome{
+			ID:             t.id,
+			Workload:       t.wl.Name,
+			Critical:       t.critical,
+			Arrival:        t.arrival,
+			PredFreqMHz:    t.predMHz,
+			ThrottledTicks: t.throttledTicks,
+			Placed:         t.placed,
+			Completed:      t.completed,
+		}
+		if t.placed {
+			out.Node = chips[t.chip].ID
+			out.Core = t.coreLabel
+			out.Start = t.start
+			out.End = t.end
+			if !t.completed {
+				out.End = o.Ticks
+			}
+			if o.Trace != nil {
+				o.Trace.Complete("dc", t.wl.Name, "dc/"+out.Node,
+					int64(out.Start), int64(out.End-out.Start+1))
+			}
+		} else {
+			res.Placement.Unplaced++
+		}
+		res.Tenants = append(res.Tenants, out)
+	}
+	for i := range chips {
+		res.Placement.BreakerRejected += chips[i].Breaker.Rejected()
+	}
+	return res, nil
+}
+
+// removeTenant drops t from list preserving order.
+func removeTenant(list []*tenant, t *tenant) []*tenant {
+	for i, x := range list {
+		if x == t {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

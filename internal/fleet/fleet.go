@@ -63,12 +63,18 @@ const (
 	// server: NBTI/HCI drift erodes the tuned margins while the closed-
 	// loop sentinel (unless disabled) keeps the configuration safe.
 	KindLifetime Kind = "lifetime"
+	// KindDCProvision is the datacenter intake pass: build the node's
+	// server, stress-test deploy it, calibrate the per-core Eq. 1
+	// frequency predictors and measure the per-chip power envelope —
+	// everything internal/dc's budget hierarchy and global scheduler
+	// need to operate the node.
+	KindDCProvision Kind = "dcprovision"
 )
 
 // validKind reports whether k is a supported job kind.
 func validKind(k Kind) bool {
 	switch k {
-	case KindCharacterize, KindTune, KindMonteCarlo, KindLifetime:
+	case KindCharacterize, KindTune, KindMonteCarlo, KindLifetime, KindDCProvision:
 		return true
 	}
 	return false
@@ -85,8 +91,12 @@ type Job struct {
 	Kind Kind `json:"kind"`
 	// SiliconSeed manufactures the server from the Monte-Carlo process
 	// model; 0 runs on the paper-calibrated reference profile
-	// (montecarlo jobs require a non-zero seed).
+	// (montecarlo and dcprovision jobs require a non-zero seed).
 	SiliconSeed uint64 `json:"silicon_seed,omitempty"`
+	// Chips overrides the generated server's processor count (0 = the
+	// generator default of 2; dc nodes are single-chip servers).
+	// Requires a non-zero SiliconSeed.
+	Chips int `json:"chips,omitempty"`
 	// Seed drives the stage's stochastic trials (charact/tuning
 	// Options.Seed; 0 = stage default).
 	Seed uint64 `json:"seed,omitempty"`
@@ -136,8 +146,11 @@ func (j Job) Validate() error {
 	if !validKind(j.Kind) {
 		return fmt.Errorf("fleet: job %s: unknown kind %q", j.ID, j.Kind)
 	}
-	if j.Kind == KindMonteCarlo && j.SiliconSeed == 0 {
-		return fmt.Errorf("fleet: job %s: montecarlo requires a non-zero silicon seed", j.ID)
+	if (j.Kind == KindMonteCarlo || j.Kind == KindDCProvision) && j.SiliconSeed == 0 {
+		return fmt.Errorf("fleet: job %s: %s requires a non-zero silicon seed", j.ID, j.Kind)
+	}
+	if j.Chips != 0 && j.SiliconSeed == 0 {
+		return fmt.Errorf("fleet: job %s: chip-count override requires a non-zero silicon seed", j.ID)
 	}
 	return nil
 }

@@ -6,9 +6,9 @@ import (
 
 	"repro/internal/charact"
 	"repro/internal/chip"
-	"repro/internal/fault"
 	"repro/internal/guard"
 	"repro/internal/lifetime"
+	"repro/internal/platform"
 	"repro/internal/silicon"
 	"repro/internal/tuning"
 )
@@ -80,6 +80,14 @@ type LifetimeResult struct {
 	Lifetime    *lifetime.Result `json:"lifetime"`
 }
 
+// DCProvisionResult is a dcprovision job's payload: the node's full
+// datacenter-intake record (deployed configs, Eq. 1 predictor fits,
+// power envelope).
+type DCProvisionResult struct {
+	SiliconSeed uint64              `json:"silicon_seed"`
+	Provision   *platform.Provision `json:"provision"`
+}
+
 // MonteCarlo decodes a montecarlo result payload.
 func (r Result) MonteCarlo() (MonteCarloResult, error) {
 	var out MonteCarloResult
@@ -116,6 +124,15 @@ func (r Result) Characterize() (CharacterizeResult, error) {
 	return out, nil
 }
 
+// DCProvision decodes a dcprovision result payload.
+func (r Result) DCProvision() (DCProvisionResult, error) {
+	var out DCProvisionResult
+	if err := r.decode(KindDCProvision, &out); err != nil {
+		return DCProvisionResult{}, err
+	}
+	return out, nil
+}
+
 func (r Result) decode(want Kind, into any) error {
 	if r.Kind != want {
 		return fmt.Errorf("fleet: job %s is %q, not %q", r.JobID, r.Kind, want)
@@ -135,13 +152,11 @@ func runJob(j Job, trialBudget int64) (json.RawMessage, error) {
 	if testJobPanic != nil {
 		testJobPanic(j)
 	}
-	m, profile, err := buildMachine(j)
+	srv, err := buildServer(j)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := armFaults(j, m); err != nil {
-		return nil, err
-	}
+	m, profile := srv.Machine, srv.Profile
 	if wd := guard.NewWatchdog(guard.WatchdogOptions{Budget: trialBudget}); wd != nil {
 		// The observer slot is free here: the inner stages only install
 		// their own taps when run with a non-nil obs registry, and the
@@ -165,6 +180,8 @@ func runJob(j Job, trialBudget int64) (json.RawMessage, error) {
 		// the trial watchdog armed on m above does not meter it; the
 		// simulation is bounded by its finite epoch count instead.
 		payload, err = runLifetime(j, profile)
+	case KindDCProvision:
+		payload, err = runDCProvision(j, srv)
 	default:
 		err = fmt.Errorf("fleet: job %s: unknown kind %q", j.ID, j.Kind)
 	}
@@ -174,42 +191,16 @@ func runJob(j Job, trialBudget int64) (json.RawMessage, error) {
 	return json.Marshal(payload)
 }
 
-// buildMachine materializes the job's server.
-func buildMachine(j Job) (*chip.Machine, *silicon.ServerProfile, error) {
-	profile := silicon.Reference()
-	if j.SiliconSeed != 0 {
-		var err error
-		profile, err = silicon.Generate(j.SiliconSeed, silicon.GenerateOptions{})
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	m, err := chip.New(profile, chip.Options{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, profile, nil
-}
-
-// armFaults installs the job's fault profile, if any.
-func armFaults(j Job, m *chip.Machine) (*fault.Injector, error) {
-	if j.FaultProfile == "" {
-		return nil, nil
-	}
-	p, err := fault.ParseProfile(j.FaultProfile)
-	if err != nil {
-		return nil, err
-	}
-	if p.Empty() {
-		return nil, nil
-	}
-	seed := j.FaultSeed
-	if seed == 0 {
-		seed = 1
-	}
-	inj := fault.New(p, seed)
-	inj.ArmMachine(m)
-	return inj, nil
+// buildServer materializes the job's server — silicon, machine, and
+// fault arming — through the shared platform recipe, so a fleet job
+// and a CLI flag set build byte-identical servers from the same spec.
+func buildServer(j Job) (*platform.Server, error) {
+	return platform.Build(platform.Spec{
+		SiliconSeed:  j.SiliconSeed,
+		Chips:        j.Chips,
+		FaultProfile: j.FaultProfile,
+		FaultSeed:    j.FaultSeed,
+	})
 }
 
 // runMonteCarlo reproduces one ext-montecarlo draw: deploy the
@@ -276,6 +267,19 @@ func runLifetime(j Job, profile *silicon.ServerProfile) (LifetimeResult, error) 
 		return LifetimeResult{}, err
 	}
 	return LifetimeResult{SiliconSeed: j.SiliconSeed, Lifetime: res}, nil
+}
+
+// runDCProvision runs the datacenter intake pass: deploy, calibrate
+// the Eq. 1 predictors, measure the power envelope.
+func runDCProvision(j Job, srv *platform.Server) (DCProvisionResult, error) {
+	prov, err := platform.ProvisionServer(srv, platform.ProvisionOptions{
+		Seed:     j.Seed,
+		Rollback: j.Rollback,
+	})
+	if err != nil {
+		return DCProvisionResult{}, err
+	}
+	return DCProvisionResult{SiliconSeed: j.SiliconSeed, Provision: prov}, nil
 }
 
 // runCharacterize runs the methodology and records the Table I rows.

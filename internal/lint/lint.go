@@ -252,6 +252,8 @@ func DefaultConfig() *Config {
 			"repro/internal/guard",
 			"repro/internal/lifetime",
 			"repro/internal/sentinel",
+			"repro/internal/platform",
+			"repro/internal/dc",
 		},
 		ErrPackages: []string{
 			"repro/cmd/",

@@ -1,0 +1,72 @@
+package perf
+
+import (
+	"repro/internal/dc"
+)
+
+// dcStages benches the datacenter plane's //atm:hotpath kernels: one
+// hierarchical budget step (water-fill apportionment plus the Chen
+// integral update) over the acceptance topology, and one scheduler
+// placement round over a 64-chip rack. Both are single-goroutine and
+// alloc-stable — the budget loop and placement scan run every sim
+// tick, so their allocs/op must stay at zero. Fixtures are built
+// outside Run so the setup cost never leaks into the per-op counts.
+func dcStages(quick bool) []Stage {
+	const chips = 2 * 4 * 8
+	idle := make([]float64, chips)
+	req := make([]float64, chips)
+	meas := make([]float64, chips)
+	for i := range idle {
+		idle[i] = 50
+		req[i] = 80 + float64(i%30)
+		meas[i] = 55 + float64(i%20)
+	}
+	tree := dc.NewBudgetTree(2, 4, 8, 2000, 600, 150, 0.5, idle)
+
+	nodes := make([]dc.PlacerChip, 64)
+	for i := range nodes {
+		nodes[i] = dc.PlacerChip{ID: dc.NodeID(0, 0, i), IdleW: 50, SpanW: 12}
+		nodes[i].Cores = make([]dc.PlacerCore, 8)
+		for j := range nodes[i].Cores {
+			nodes[i].Cores[j] = dc.PlacerCore{
+				Label: "C", Slope: -2.5, Intercept: 4000 + float64(i%40),
+			}
+		}
+	}
+	placer := dc.NewPlacer(nodes)
+	allow := make([]float64, len(nodes))
+	for i := range allow {
+		allow[i] = 500
+	}
+
+	return []Stage{
+		{
+			Name: "dc_budget_step", Group: "dc", AllocStable: true,
+			Note:  "rack→chassis→chip water-fill + integral update, 2×4×8 topology (dc.BudgetTree)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					tree.Apportion(req)
+					tree.Regulate(meas)
+					sinkF = tree.Allowance(i % chips)
+				}
+				return int64(iters), nil
+			},
+		},
+		{
+			Name: "dc_place", Group: "dc", AllocStable: true,
+			Note:  "Eq. 1 placement scan + release over 64 chips × 8 cores (dc.Placer)",
+			Iters: pick(quick, 10_000, 200_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					ci, cj, pred, ok := placer.Place(0.7, allow)
+					if ok {
+						sinkF = pred
+						placer.Release(ci, cj, 0.7)
+					}
+				}
+				return int64(iters), nil
+			},
+		},
+	}
+}

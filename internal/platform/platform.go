@@ -1,0 +1,272 @@
+// Package platform is the one place a simulated POWER server is
+// assembled: silicon profile (paper-calibrated reference or Monte-Carlo
+// generated), chip.Machine, and optional deterministic fault injection.
+// charact, tuning, fleet, dc and the CLIs used to re-assemble this
+// recipe independently; they now all build through Spec/Build, so a
+// job spec, a CLI flag set and a datacenter node materialize the same
+// server byte for byte.
+//
+// The package is in atmlint's detrand scope: a Server is a pure
+// function of its Spec, with no wall clock or ambient randomness
+// anywhere in the recipe.
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/manage"
+	"repro/internal/silicon"
+	"repro/internal/tuning"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Spec names a server completely: identical specs build identical
+// servers. The zero value is the paper-calibrated fault-free reference
+// machine. Field order and omitempty tags are part of the fleet job
+// hash contract — change them only with a specVersion bump there.
+type Spec struct {
+	// SiliconSeed manufactures the server from the Monte-Carlo process
+	// model; 0 builds the paper-calibrated reference profile.
+	SiliconSeed uint64 `json:"silicon_seed,omitempty"`
+	// Chips overrides the generated server's processor count (0 = the
+	// generator default of 2). Requires a non-zero SiliconSeed: the
+	// reference profile is pinned to the paper's two chips.
+	Chips int `json:"chips,omitempty"`
+	// CoresPerChip overrides the generated per-chip core count
+	// (0 = the generator default of 8). Requires a non-zero SiliconSeed.
+	CoresPerChip int `json:"cores_per_chip,omitempty"`
+	// FaultProfile, when non-empty, arms deterministic fault injection
+	// (a fault.ParseProfile spec).
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// FaultSeed seeds the fault streams (0 = 1, the injector default).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+}
+
+// Server is one materialized machine with its provenance.
+type Server struct {
+	Spec    Spec
+	Profile *silicon.ServerProfile
+	Machine *chip.Machine
+	// Injector is non-nil exactly when the spec armed a non-empty
+	// fault profile; fault-free servers take the same code path (and
+	// RNG streams) they did before fault injection existed.
+	Injector *fault.Injector
+}
+
+// Build materializes the spec: silicon, machine, faults.
+func Build(spec Spec) (*Server, error) {
+	profile := silicon.Reference()
+	if spec.SiliconSeed != 0 {
+		var err error
+		profile, err = silicon.Generate(spec.SiliconSeed, silicon.GenerateOptions{
+			Chips:        spec.Chips,
+			CoresPerChip: spec.CoresPerChip,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if spec.Chips != 0 || spec.CoresPerChip != 0 {
+		return nil, errors.New("platform: chip/core count overrides require a non-zero silicon seed")
+	}
+	m, err := chip.New(profile, chip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	inj, err := Arm(m, spec.FaultProfile, spec.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{Spec: spec, Profile: profile, Machine: m, Injector: inj}, nil
+}
+
+// Arm installs a fault profile on a machine: nil injector for an empty
+// spec (fault-free runs keep their exact pre-fault code path), seed 0
+// normalized to the injector default of 1.
+func Arm(m *chip.Machine, profileSpec string, seed uint64) (*fault.Injector, error) {
+	if profileSpec == "" {
+		return nil, nil
+	}
+	p, err := fault.ParseProfile(profileSpec)
+	if err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	inj := fault.New(p, seed)
+	inj.ArmMachine(m)
+	return inj, nil
+}
+
+// ProvisionOptions tunes the datacenter intake pass.
+type ProvisionOptions struct {
+	// Seed drives the stress-test trials (0 = the tuning default).
+	Seed uint64
+	// Rollback is the tuning safety margin.
+	Rollback int
+	// Passes is the stress-battery repeat count. Default 1 — the
+	// dc-scale quick pass; full manufacturing flow uses tuning's
+	// default of 3.
+	Passes int
+	// RunsPerConfig is the clean-run bar per configuration. Default 2
+	// (tuning's own default is 4) — again the dc-scale quick pass.
+	RunsPerConfig int
+}
+
+// CoreProvision is one core's datacenter-intake record: its deployed
+// fine-tuned configuration plus the fitted Eq. 1 frequency predictor
+// the global scheduler indexes by chip power.
+type CoreProvision struct {
+	Core          string  `json:"core"`
+	StressLimit   int     `json:"stress_limit"`
+	Reduction     int     `json:"reduction"`
+	IdleFreqMHz   float64 `json:"idle_freq_mhz"`
+	LoadedFreqMHz float64 `json:"loaded_freq_mhz"`
+	Quarantined   bool    `json:"quarantined,omitempty"`
+	// FreqSlope/FreqIntercept are the core's Eq. 1 fit
+	// (f ≈ FreqSlope·P + FreqIntercept, slope negative): zero for
+	// quarantined cores, which the scheduler never places work on.
+	FreqSlope     float64 `json:"freq_slope"`
+	FreqIntercept float64 `json:"freq_intercept"`
+}
+
+// ChipProvision is one chip's intake record: the per-core
+// configurations plus the measured power envelope the hierarchical
+// budget loop plans against.
+type ChipProvision struct {
+	Chip string `json:"chip"`
+	// IdleW/LoadedW bound the chip's power draw: every core idle vs
+	// every core running daxpy (the highest-power kernel) at the
+	// deployed configuration.
+	IdleW   float64         `json:"idle_w"`
+	LoadedW float64         `json:"loaded_w"`
+	Cores   []CoreProvision `json:"cores"`
+}
+
+// Provision is a server's full datacenter-intake record.
+type Provision struct {
+	SiliconSeed  uint64          `json:"silicon_seed"`
+	SpeedDiffMHz float64         `json:"speed_diff_mhz"`
+	Chips        []ChipProvision `json:"chips"`
+}
+
+// QuarantinedCores counts quarantined cores across the server.
+func (p *Provision) QuarantinedCores() int {
+	n := 0
+	for _, ch := range p.Chips {
+		for _, c := range ch.Cores {
+			if c.Quarantined {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ProvisionServer runs the datacenter intake pass on a built server:
+// stress-test deployment (tuning.Deploy), then per-core Eq. 1
+// frequency-predictor calibration and the idle/loaded power envelope
+// per chip. The result is a pure function of (server spec, options) —
+// exactly what the fleet's dcprovision job kind caches and what the
+// dc scheduler and budget hierarchy consume.
+func ProvisionServer(srv *Server, o ProvisionOptions) (*Provision, error) {
+	if o.Passes == 0 {
+		o.Passes = 1
+	}
+	if o.RunsPerConfig == 0 {
+		o.RunsPerConfig = 2
+	}
+	m := srv.Machine
+	dep, err := tuning.Deploy(m, tuning.Options{
+		Seed:          o.Seed,
+		Rollback:      o.Rollback,
+		Passes:        o.Passes,
+		RunsPerConfig: o.RunsPerConfig,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfgByCore := make(map[string]tuning.CoreConfig, len(dep.Configs))
+	for _, cfg := range dep.Configs {
+		cfgByCore[cfg.Core] = cfg
+	}
+
+	out := &Provision{SiliconSeed: srv.Spec.SiliconSeed, SpeedDiffMHz: dep.SpeedDifferentialMHz()}
+	for _, chp := range m.Chips {
+		cp := ChipProvision{Chip: chp.Profile.Label}
+		idleW, loadedW, err := chipEnvelope(m, chp)
+		if err != nil {
+			return nil, err
+		}
+		cp.IdleW, cp.LoadedW = idleW, loadedW
+		for _, core := range chp.Cores {
+			cfg, ok := cfgByCore[core.Profile.Label]
+			if !ok {
+				return nil, fmt.Errorf("platform: deployment has no config for core %s", core.Profile.Label)
+			}
+			rec := CoreProvision{
+				Core:          cfg.Core,
+				StressLimit:   cfg.StressLimit,
+				Reduction:     cfg.Reduction,
+				IdleFreqMHz:   float64(cfg.IdleFreq),
+				LoadedFreqMHz: float64(cfg.LoadedFreq),
+				Quarantined:   cfg.Quarantined,
+			}
+			if !cfg.Quarantined {
+				fp, err := manage.CalibrateFreqPredictor(m, cfg.Core)
+				if err != nil {
+					return nil, err
+				}
+				rec.FreqSlope, rec.FreqIntercept = fp.Fit.Slope, fp.Fit.Intercept
+			}
+			cp.Cores = append(cp.Cores, rec)
+		}
+		out.Chips = append(out.Chips, cp)
+	}
+	return out, nil
+}
+
+// chipEnvelope measures a chip's idle and all-cores-daxpy steady-state
+// power at the deployed configuration, restoring the previous workload
+// assignment afterwards.
+func chipEnvelope(m *chip.Machine, ch *chip.Chip) (idleW, loadedW float64, err error) {
+	before := make([]workload.Profile, len(ch.Cores))
+	for i, c := range ch.Cores {
+		before[i] = c.Workload()
+	}
+	defer func() {
+		for i, c := range ch.Cores {
+			c.SetWorkload(before[i])
+		}
+	}()
+	measure := func(w workload.Profile) (units.Watt, error) {
+		for _, c := range ch.Cores {
+			c.SetWorkload(w)
+		}
+		st, err := m.Solve()
+		if err != nil {
+			return 0, err
+		}
+		cs, err := st.ChipState(ch.Profile.Label)
+		if err != nil {
+			return 0, err
+		}
+		return cs.Power, nil
+	}
+	idle, err := measure(workload.Idle)
+	if err != nil {
+		return 0, 0, err
+	}
+	loaded, err := measure(workload.Daxpy)
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(idle), float64(loaded), nil
+}
