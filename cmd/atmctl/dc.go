@@ -15,9 +15,13 @@ import (
 // predictor-driven scheduler simulated over a seeded tenant stream.
 // Stdout carries only the canonical view — the human table or the
 // -json document — byte-identical across worker counts; provenance
-// (cache hits, campaign name) goes to stderr. Exit 3 when any chip
-// ends quarantined, any budget cap is violated, or any intake job
-// failed.
+// (cache hits, campaign name) goes to stderr. With -ops-fault-profile
+// the sim additionally absorbs a seeded operational fault timeline
+// (chip deaths, link flaps, brownouts, thermals) and reports the
+// recovery/availability summary with a SAFE/UNSAFE verdict. Exit 3
+// when any chip ends intake-quarantined, any budget cap is violated,
+// any intake job failed, or the ops verdict is UNSAFE (a displaced
+// tenant was never re-placed).
 func cmdDC(args []string) error {
 	fs := flag.NewFlagSet("dc", flag.ContinueOnError)
 	racks := fs.Int("racks", 2, "rack count")
@@ -36,6 +40,9 @@ func cmdDC(args []string) error {
 	faultProfile := fs.String("fault-profile", "",
 		"arm this fault profile on every node (per-node seeds are independent rng splits)")
 	faultSeed := fs.Uint64("fault-seed", 1, "base fault seed the per-node streams split from")
+	opsProfile := fs.String("ops-fault-profile", "",
+		"operational fault timeline for the post-intake sim: a preset (ops-storm, chip-death, flaky-links, brownout, rack-brownout, thermal, none) or key=value spec")
+	opsSeed := fs.Uint64("ops-fault-seed", 1, "seed the per-entity operational fault streams split from")
 	cacheDir := fs.String("cache-dir", "", "content-addressed provision cache + checkpoint manifest directory")
 	resume := fs.Bool("resume", false, "continue a killed campaign from its checkpoint in -cache-dir")
 	jsonOut := fs.Bool("json", false, "emit the canonical campaign result as JSON instead of tables")
@@ -61,6 +68,8 @@ func cmdDC(args []string) error {
 		KI:              *ki,
 		FaultProfile:    *faultProfile,
 		FaultSeed:       *faultSeed,
+		OpsFaultProfile: *opsProfile,
+		OpsFaultSeed:    *opsSeed,
 		CacheDir:        *cacheDir,
 		Resume:          *resume,
 		Obs:             reg,
@@ -89,6 +98,9 @@ func cmdDC(args []string) error {
 	case len(res.FailedJobs) > 0 || quarantined > 0:
 		return partialf("dc: %d chip(s) quarantined (%d intake failure(s)); %d budget violation(s)",
 			quarantined, len(res.FailedJobs), res.Budget.Violations)
+	case res.Ops != nil && !res.Ops.Safe:
+		return partialf("dc: ops verdict UNSAFE — %d tenant(s) shed after displacement, %d budget violation(s)",
+			res.Ops.Shed, res.Budget.Violations)
 	case res.Budget.Violations > 0:
 		return partialf("dc: %d budget violation(s) across %d tick(s)",
 			res.Budget.Violations, res.Topology.Ticks)
@@ -128,5 +140,41 @@ func renderDC(res *atm.DCResult) error {
 		res.Budget.Violations, res.Budget.ThrottleEvents, res.Budget.ResumeEvents,
 		res.Placement.Placed, res.Placement.Completed, res.Placement.Unplaced,
 		res.Placement.Deferrals, res.Placement.BreakerRejected)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if res.Ops == nil {
+		return nil
+	}
+	return renderDCOps(res)
+}
+
+// renderDCOps prints the operational event/recovery timeline and the
+// availability summary with its SAFE/UNSAFE verdict.
+func renderDCOps(res *atm.DCResult) error {
+	ops := res.Ops
+	t := &report.Table{
+		Title:  fmt.Sprintf("Operational faults: profile %s (seed %d)", ops.Profile, ops.Seed),
+		Header: []string{"tick", "event", "target", "detail"},
+	}
+	for _, ev := range res.Events {
+		detail := ev.Detail
+		if ev.CapW != 0 {
+			detail = fmt.Sprintf("cap %.1f W", ev.CapW)
+			if ev.Detail != "" {
+				detail += "; " + ev.Detail
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", ev.Tick), ev.Kind, ev.Node, detail)
+	}
+	t.Note = fmt.Sprintf(
+		"events: %d chip death(s), %d link flap(s), %d brownout(s), %d thermal(s); "+
+			"ladder: %d quarantine(s), %d readmit(s), MTTR %.1f tick(s)\n"+
+			"tenants: %d evacuation(s), %d migration(s), %d recovered, %d shed, %d tenant-tick(s) lost\n"+
+			"verdict: %s",
+		ops.ChipDeaths, ops.LinkFlaps, ops.Brownouts, ops.Thermals,
+		ops.Quarantines, ops.Readmits, ops.MTTRTicks,
+		ops.Evacuations, ops.Migrations, ops.Recovered, ops.Shed, ops.TenantTicksLost,
+		ops.Verdict())
 	return t.Render(os.Stdout)
 }

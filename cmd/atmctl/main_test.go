@@ -43,6 +43,17 @@ func TestRunExitCodes(t *testing.T) {
 		{"dc budget violation is partial", []string{"dc",
 			"-racks", "1", "-chassis", "1", "-chips-per-chassis", "2", "-ticks", "8",
 			"-chassis-cap", "30"}, 3},
+		{"dc ops recovered is ok", []string{"dc",
+			"-racks", "1", "-chassis", "2", "-chips-per-chassis", "2",
+			"-ticks", "32", "-tenants", "16",
+			"-ops-fault-profile", "chip-death"}, 0},
+		{"dc ops shed tenants are partial", []string{"dc",
+			"-racks", "1", "-chassis", "1", "-chips-per-chassis", "2",
+			"-ticks", "10", "-tenants", "12",
+			"-ops-fault-profile", "chip-deaths=2"}, 3},
+		{"dc bad ops profile is hard", []string{"dc",
+			"-racks", "1", "-chassis", "1", "-chips-per-chassis", "2", "-ticks", "8",
+			"-ops-fault-profile", "no-such-preset"}, 1},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

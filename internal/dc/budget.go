@@ -28,12 +28,22 @@ type BudgetTree struct {
 	chipCap    float64
 	ki         float64
 
+	// Effective caps per entity. They start at the configured scalars
+	// and diverge only under operational events: a brownout drops a
+	// rack or chassis cap for its window, a thermal excursion forces a
+	// chip cap below its idle floor. Apportion and Regulate read these,
+	// never the base scalars, so degraded-mode water-fill is the same
+	// code path as nominal operation.
+	rackEff    []float64
+	chassisEff []float64
+	chipEff    []float64
+
 	// idle is the per-chip admission floor (the power a live chip draws
 	// with every core idle; 0 for quarantined chips).
 	idle []float64
 	// grant is the per-chip water-filled share of this tick's caps.
 	grant []float64
-	// soft is the per-chip integral state, clamped to [idle, chipCap].
+	// soft is the per-chip integral state, clamped to [idle, chip cap].
 	soft []float64
 
 	// Scratch for the two water-fill levels.
@@ -60,6 +70,9 @@ func NewBudgetTree(racks, chassisPerRack, chipsPerChassis int, rackCapW, chassis
 		chassisCap:      chassisCapW,
 		chipCap:         chipCapW,
 		ki:              ki,
+		rackEff:         make([]float64, racks),
+		chassisEff:      make([]float64, racks*chassisPerRack),
+		chipEff:         make([]float64, n),
 		idle:            make([]float64, n),
 		grant:           make([]float64, n),
 		soft:            make([]float64, n),
@@ -70,6 +83,15 @@ func NewBudgetTree(racks, chassisPerRack, chipsPerChassis int, rackCapW, chassis
 	}
 	copy(t.idle, idle)
 	copy(t.soft, idle)
+	for i := range t.rackEff {
+		t.rackEff[i] = rackCapW
+	}
+	for i := range t.chassisEff {
+		t.chassisEff[i] = chassisCapW
+	}
+	for i := range t.chipEff {
+		t.chipEff[i] = chipCapW
+	}
 	return t
 }
 
@@ -112,12 +134,12 @@ func (t *BudgetTree) Apportion(request []float64) {
 				need += t.clampRequest(request[chip], chip)
 				chip++
 			}
-			if need > t.chassisCap {
-				need = t.chassisCap
+			if cap := t.chassisEff[r*t.chassisPerRack+c]; need > cap {
+				need = cap
 			}
 			t.chassisNeed[c] = need
 		}
-		waterFill(t.rackCap, t.chassisNeed, t.chassisGrant)
+		waterFill(t.rackEff[r], t.chassisNeed, t.chassisGrant)
 		// Chip grants inside each chassis.
 		chip = rackBase
 		for c := 0; c < t.chassisPerRack; c++ {
@@ -134,14 +156,18 @@ func (t *BudgetTree) Apportion(request []float64) {
 }
 
 // Regulate advances the per-chip integral controllers one tick:
-// soft += ki·(grant − measured), clamped to [idle, chipCap].
+// soft += ki·(grant − measured), clamped to [idle, chip cap]. The
+// idle floor is applied last, matching nominal operation; a chip whose
+// effective cap sits below its idle floor (thermal excursion) is still
+// forced under idle through its grant, because clampRequest caps the
+// request at the effective ceiling before the water-fill runs.
 //
 //atm:hotpath
 func (t *BudgetTree) Regulate(measured []float64) {
 	for i := range t.soft {
 		s := t.soft[i] + t.ki*(t.grant[i]-measured[i])
-		if s > t.chipCap {
-			s = t.chipCap
+		if s > t.chipEff[i] {
+			s = t.chipEff[i]
 		}
 		if s < t.idle[i] {
 			s = t.idle[i]
@@ -151,14 +177,73 @@ func (t *BudgetTree) Regulate(measured []float64) {
 }
 
 // clampRequest bounds a chip's request to [idle floor, chip cap].
+// When an ops event forces the effective cap below the idle floor the
+// ceiling wins: the chip is allowed only its forced cap, the one case
+// where an allowance legitimately sits below idle.
 func (t *BudgetTree) clampRequest(req float64, i int) float64 {
-	if req > t.chipCap {
-		req = t.chipCap
+	if req > t.chipEff[i] {
+		req = t.chipEff[i]
 	}
-	if req < t.idle[i] {
+	if req < t.idle[i] && t.idle[i] <= t.chipEff[i] {
 		req = t.idle[i]
 	}
 	return req
+}
+
+// SetRackCap forces rack r's effective cap (a PDU brownout);
+// ResetRackCap restores the configured cap.
+func (t *BudgetTree) SetRackCap(r int, capW float64) { t.rackEff[r] = capW }
+
+// ResetRackCap restores rack r's configured cap.
+func (t *BudgetTree) ResetRackCap(r int) { t.rackEff[r] = t.rackCap }
+
+// SetChassisCap forces chassis ci's effective cap, ci being the global
+// chassis index rack·chassisPerRack + chassis.
+func (t *BudgetTree) SetChassisCap(ci int, capW float64) { t.chassisEff[ci] = capW }
+
+// ResetChassisCap restores chassis ci's configured cap.
+func (t *BudgetTree) ResetChassisCap(ci int) { t.chassisEff[ci] = t.chassisCap }
+
+// ForceChipCap forces chip i's effective ceiling — a thermal excursion
+// may push it below the chip's idle floor, and the clamp chain then
+// grants the chip only the forced cap.
+func (t *BudgetTree) ForceChipCap(i int, capW float64) { t.chipEff[i] = capW }
+
+// ResetChipCap restores chip i's configured ceiling.
+func (t *BudgetTree) ResetChipCap(i int) { t.chipEff[i] = t.chipCap }
+
+// RackCapEff returns rack r's effective cap this tick.
+func (t *BudgetTree) RackCapEff(r int) float64 { return t.rackEff[r] }
+
+// ChassisCapEff returns global chassis ci's effective cap this tick.
+func (t *BudgetTree) ChassisCapEff(ci int) float64 { return t.chassisEff[ci] }
+
+// ChipCapEff returns chip i's effective ceiling this tick.
+func (t *BudgetTree) ChipCapEff(i int) float64 { return t.chipEff[i] }
+
+// Idle returns chip i's admission floor.
+func (t *BudgetTree) Idle(i int) float64 { return t.idle[i] }
+
+// SetIdle rewrites chip i's admission floor: 0 for a dead or
+// quarantined chip (its draw leaves the hierarchy), the provisioned
+// idle watts again on re-admission. The integral state is clamped into
+// the new floor's range so a freed chip stops holding budget.
+func (t *BudgetTree) SetIdle(i int, idleW float64) {
+	t.idle[i] = idleW
+	if t.soft[i] < idleW {
+		t.soft[i] = idleW
+	}
+	if idleW == 0 && t.soft[i] > 0 {
+		t.soft[i] = 0
+	}
+}
+
+// ReAdmit restores chip i's admission floor and restarts its integral
+// state at that floor — the soft-start: a re-admitted chip earns
+// budget back over ticks instead of slamming to its grant.
+func (t *BudgetTree) ReAdmit(i int, idleW float64) {
+	t.idle[i] = idleW
+	t.soft[i] = idleW
 }
 
 // waterFill distributes budget over need into out (same length),

@@ -124,6 +124,67 @@ func TestRegulateRampAndClamp(t *testing.T) {
 	}
 }
 
+// TestDegradedChassisCapConvergence drops one chassis's effective cap
+// mid-loop (a PDU brownout), checks the water-fill immediately confines
+// that chassis to the degraded budget while the other chassis is
+// untouched, then restores the cap and requires the survivors to climb
+// back to their pre-brownout allowances within a small K — the
+// degraded-mode rebalance the ops plane leans on.
+func TestDegradedChassisCapConvergence(t *testing.T) {
+	idle := []float64{10, 10, 10, 10}
+	tree := NewBudgetTree(1, 2, 2, 400, 100, 60, 0.5, idle)
+	req := []float64{50, 50, 50, 50}
+	step := func() {
+		tree.Apportion(req)
+		tree.Regulate(idle) // idle draw: the integral winds up freely
+	}
+	for i := 0; i < 20; i++ {
+		step()
+	}
+	pre := make([]float64, 4)
+	for i := range pre {
+		pre[i] = tree.Allowance(i)
+		if math.Abs(pre[i]-50) > 1e-6 {
+			t.Fatalf("chip %d pre-brownout allowance %v, want the full request 50", i, pre[i])
+		}
+	}
+
+	const degraded = 40.0
+	tree.SetChassisCap(0, degraded)
+	for i := 0; i < 10; i++ {
+		step()
+		if s := tree.Grant(0) + tree.Grant(1); s > degraded+1e-6 {
+			t.Fatalf("degraded chassis grants sum %v exceed forced cap %v", s, degraded)
+		}
+		if s := tree.Grant(2) + tree.Grant(3); s > 100+1e-6 {
+			t.Fatalf("healthy chassis grants sum %v exceed its cap", s)
+		}
+	}
+	// The fair split of the degraded budget.
+	for _, i := range []int{0, 1} {
+		if a := tree.Allowance(i); math.Abs(a-degraded/2) > 1e-6 {
+			t.Fatalf("chip %d degraded allowance %v, want %v", i, a, degraded/2)
+		}
+	}
+	// Survivors on the healthy chassis never flinched.
+	for _, i := range []int{2, 3} {
+		if a := tree.Allowance(i); math.Abs(a-pre[i]) > 1e-6 {
+			t.Fatalf("chip %d on the healthy chassis moved to %v during the brownout", i, a)
+		}
+	}
+
+	tree.ResetChassisCap(0)
+	const K = 8
+	for i := 0; i < K; i++ {
+		step()
+	}
+	for i := range pre {
+		if a := tree.Allowance(i); math.Abs(a-pre[i]) > 1e-6 {
+			t.Fatalf("chip %d allowance %v did not converge back to %v within %d ticks", i, a, pre[i], K)
+		}
+	}
+}
+
 func TestBudgetStepAllocFree(t *testing.T) {
 	n := 2 * 4 * 8
 	idle := make([]float64, n)

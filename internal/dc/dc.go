@@ -30,6 +30,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/platform"
 	"repro/internal/rng"
 )
 
@@ -70,6 +71,14 @@ type Options struct {
 	// FaultSeed by node ID.
 	FaultProfile string
 	FaultSeed    uint64
+	// OpsFaultProfile, when non-empty and not "none", arms the
+	// operational fault timeline (ParseOpsProfile spec): seeded runtime
+	// chip deaths, FSP link flaps, PDU brownouts and thermal excursions
+	// drawn from labelled splits of OpsFaultSeed (0 = 1), with the
+	// recovery ladder, tenant migration and degraded-mode water-fill
+	// built on top. "none" or "" keeps the exact pre-ops code path.
+	OpsFaultProfile string
+	OpsFaultSeed    uint64
 	// CacheDir/Resume pass through to the intake fleet (content-
 	// addressed provision cache, kill-safe resume).
 	CacheDir string
@@ -156,6 +165,13 @@ type TenantOutcome struct {
 	ThrottledTicks int     `json:"throttled_ticks,omitempty"`
 	Placed         bool    `json:"placed,omitempty"`
 	Completed      bool    `json:"completed,omitempty"`
+	// Operational-fault fate (all zero without the ops plane):
+	// Migrations counts successful re-placements after evacuation,
+	// DowntimeTicks the queued-while-displaced ticks, Shed marks a
+	// displaced tenant never re-placed by the horizon.
+	Migrations    int  `json:"migrations,omitempty"`
+	DowntimeTicks int  `json:"downtime_ticks,omitempty"`
+	Shed          bool `json:"shed,omitempty"`
 }
 
 // TickRow is one operation tick of the budget timeline: the maximum
@@ -172,6 +188,9 @@ type TickRow struct {
 	// water-fill + min(grant, soft) design keeps this zero unless a
 	// caller forces a cap below the fleet's idle draw.
 	Violations int `json:"violations"`
+	// Down counts chips out of service this tick (dead, quarantined,
+	// or telemetry-dark); only the ops plane sets it.
+	Down int `json:"down,omitempty"`
 }
 
 // BudgetSummary records the hierarchy's configuration and outcome.
@@ -207,6 +226,12 @@ type Result struct {
 	Timeline     []TickRow        `json:"timeline"`
 	Budget       BudgetSummary    `json:"budget"`
 	Placement    PlacementSummary `json:"placement"`
+
+	// Ops and Events carry the operational fault plane's availability
+	// summary and event/recovery timeline; both absent (and the
+	// serialization unchanged) when the plane is off.
+	Ops    *OpsSummary `json:"ops,omitempty"`
+	Events []OpsEvent  `json:"events,omitempty"`
 
 	// FailedJobs lists intake jobs that failed (provenance for the
 	// exit-code contract; the nodes are quarantined, not fatal).
@@ -249,11 +274,24 @@ func NodeID(rack, chassis, slot int) string {
 // Campaign builds the intake fleet campaign for the topology: one
 // single-chip dcprovision job per node, silicon seeds SiliconStart+i,
 // trial seeds Seed+i, fault streams split from FaultSeed by node ID.
+// An armed ops profile is stamped (canonically) into every job spec so
+// the campaign hash — and therefore the checkpoint manifest — names
+// the whole operational scenario, not just the intake inputs.
 func Campaign(o Options) *fleet.Campaign {
 	o = o.withDefaults()
 	name := fmt.Sprintf("dc-r%dc%ds%d-s%d", o.Racks, o.ChassisPerRack, o.ChipsPerChassis, o.SiliconStart)
 	if o.FaultProfile != "" {
 		name += "-faulted"
+	}
+	var opsProfile string
+	var opsSeed uint64
+	if p, err := ParseOpsProfile(o.OpsFaultProfile); err == nil && !p.Empty() {
+		opsProfile = p.String()
+		opsSeed = o.OpsFaultSeed
+		if opsSeed == 0 {
+			opsSeed = 1
+		}
+		name += "-ops"
 	}
 	c := &fleet.Campaign{Name: name}
 	i := 0
@@ -281,6 +319,10 @@ func Campaign(o Options) *fleet.Campaign {
 					}
 					j.FaultSeed = seed
 				}
+				if opsProfile != "" {
+					j.OpsProfile = opsProfile
+					j.OpsSeed = opsSeed
+				}
 				c.Jobs = append(c.Jobs, j)
 				i++
 			}
@@ -294,6 +336,12 @@ func Campaign(o Options) *fleet.Campaign {
 // continues; Run errors only on spec or infrastructure failures.
 func Run(o Options) (*Result, error) {
 	o = o.withDefaults()
+	// Parse the ops profile up front so a bad spec fails before the
+	// (expensive) intake fleet runs.
+	ops, err := ParseOpsProfile(o.OpsFaultProfile)
+	if err != nil {
+		return nil, err
+	}
 	campaign := Campaign(o)
 	fres, err := fleet.Run(campaign, fleet.Options{
 		Workers:  o.Workers,
@@ -305,15 +353,22 @@ func Run(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return simulate(o, campaign, fres)
+	return simulate(o, ops, campaign, fres)
 }
 
 // intakeChips turns the merged fleet results into the scheduler's chip
-// view plus the per-node summaries, in topology order. Failed nodes
-// get a breaker tripped open past the sim horizon.
-func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSummary) {
+// view plus the per-node summaries and retained provision records, in
+// topology order. Failed nodes get a breaker tripped open past the sim
+// horizon. clock, when non-nil, is the ops plane's logical tick clock:
+// live nodes' breakers then run on it with a finite open window of
+// reAdmitTicks, so a runtime quarantine earns a re-admission probe —
+// with no ops plane (clock nil) every breaker keeps the original
+// event-clock options and, since a live node's breaker never trips,
+// the operation sim is bit-identical to the pre-ops plane.
+func intakeChips(o Options, fres *fleet.CampaignResult, clock *int64, reAdmitTicks int64) ([]PlacerChip, []ChipSummary, []*platform.Provision) {
 	chips := make([]PlacerChip, len(fres.Results))
 	sums := make([]ChipSummary, len(fres.Results))
+	provs := make([]*platform.Provision, len(fres.Results))
 	i := 0
 	for r := 0; r < o.Racks; r++ {
 		for ch := 0; ch < o.ChassisPerRack; ch++ {
@@ -321,15 +376,7 @@ func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSum
 				node := NodeID(r, ch, s)
 				res := fres.Results[i]
 				sum := ChipSummary{Node: node, SiliconSeed: o.SiliconStart + uint64(i)}
-				pc := PlacerChip{ID: node, Breaker: guard.NewBreaker(guard.BreakerOptions{
-					Name: "dc/" + node,
-					// One failed provision quarantines the node; the
-					// open window outlasts any sim horizon so the
-					// breaker never half-opens into a broken chip.
-					FailureThreshold: 1,
-					OpenTicks:        1 << 40,
-					Obs:              o.Obs,
-				})}
+				pc := PlacerChip{ID: node}
 				prov, derr := res.DCProvision()
 				switch {
 				case derr != nil:
@@ -339,12 +386,10 @@ func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSum
 					}
 					sum.Quarantined = true
 					pc.Quarantined = true
-					pc.Breaker.Failure()
 				case len(prov.Provision.Chips) != 1:
 					sum.Err = fmt.Sprintf("dc: node %s provisioned %d chips, want 1", node, len(prov.Provision.Chips))
 					sum.Quarantined = true
 					pc.Quarantined = true
-					pc.Breaker.Failure()
 				default:
 					cp := prov.Provision.Chips[0]
 					sum.IdleW = cp.IdleW
@@ -372,8 +417,28 @@ func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSum
 					if live == 0 {
 						sum.Quarantined = true
 						pc.Quarantined = true
-						pc.Breaker.Failure()
 					}
+					provs[i] = prov.Provision
+				}
+				opts := guard.BreakerOptions{
+					Name: "dc/" + node,
+					// One failed provision quarantines the node; the
+					// open window outlasts any sim horizon so the
+					// breaker never half-opens into a broken chip.
+					FailureThreshold: 1,
+					OpenTicks:        1 << 40,
+					Obs:              o.Obs,
+				}
+				if clock != nil && !pc.Quarantined {
+					// Ops mode: runtime quarantines measure their open
+					// window on the sim tick clock and then probe for
+					// re-admission.
+					opts.OpenTicks = reAdmitTicks
+					opts.Now = func() int64 { return *clock }
+				}
+				pc.Breaker = guard.NewBreaker(opts)
+				if pc.Quarantined {
+					pc.Breaker.Failure()
 				}
 				chips[i] = pc
 				sums[i] = sum
@@ -381,7 +446,7 @@ func intakeChips(o Options, fres *fleet.CampaignResult) ([]PlacerChip, []ChipSum
 			}
 		}
 	}
-	return chips, sums
+	return chips, sums, provs
 }
 
 // autoCaps derives the budget caps not set explicitly. The chip cap

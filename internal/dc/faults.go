@@ -1,0 +1,423 @@
+package dc
+
+// The operational fault timeline: seeded runtime disturbances the
+// provisioned fleet must absorb after intake. PR 9's plane only
+// injected faults at provisioning time — once a chip survived intake
+// it was immortal for the whole operation sim, so the budget loop and
+// the Eq. 1 placer were never exercised under the events a real fleet
+// sees. This file draws those events deterministically: chip death
+// mid-sim, FSP link flaps (telemetry loss for a window of ticks), PDU
+// cap excursions (brownouts) at rack and chassis level, and thermal
+// excursions that force a chip's allowance below its idle floor.
+//
+// Every draw comes from a labelled split of the ops seed — one stream
+// per entity ("dc/ops/<node>", "dc/ops/<chassis>", "dc/ops/<rack>") —
+// and the schedule is fixed before the first tick, so the whole run
+// replays bit-for-bit from (profile, seed, topology) at every worker
+// count. The recovery half lives in recovery.go.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// OpsProfile describes the operational disturbance environment for a
+// datacenter run: event counts over the horizon plus their shapes. The
+// zero value injects nothing.
+type OpsProfile struct {
+	// ChipDeaths is the number of chips that die permanently at a
+	// seeded tick. Their tenants are evacuated and their idle draw is
+	// handed back to the budget hierarchy.
+	ChipDeaths int
+	// LinkFlaps is the number of FSP link-flap events: the node's
+	// telemetry goes dark for FlapTicks ticks. A flap outlasting the
+	// GraceTicks window quarantines the node (tenants evacuated,
+	// breaker opened); the node is re-admitted when the link returns.
+	LinkFlaps int
+	// FlapTicks is a flap's telemetry-loss duration (default 6).
+	FlapTicks int
+	// GraceTicks is the telemetry-loss grace window: a node dark for
+	// longer is quarantined (default 2).
+	GraceTicks int
+	// ReAdmitTicks is the quarantine breaker's open window in logical
+	// ticks before a re-admission probe is allowed (default 2).
+	ReAdmitTicks int
+	// Brownouts / RackBrownouts are PDU cap excursions at chassis and
+	// rack level: the affected cap drops to BrownoutFrac of its
+	// configured value for BrownoutTicks ticks, and the water-fill
+	// re-apportions the reduced budget over the survivors.
+	Brownouts     int
+	RackBrownouts int
+	// BrownoutFrac is the cap multiplier during a brownout (default 0.6).
+	BrownoutFrac float64
+	// BrownoutTicks is a brownout's duration (default 6).
+	BrownoutTicks int
+	// Thermals is the number of chip thermal excursions: the chip's
+	// allowance is forced to ThermalFrac of its idle floor — below
+	// idle, the carve-out case of the cap invariant — for ThermalTicks
+	// ticks, shedding every tenant on it to idle draw.
+	Thermals int
+	// ThermalFrac is the fraction of the chip's idle floor the forced
+	// cap drops to (default 0.5; must stay below 1 so the excursion
+	// actually lands under the idle floor).
+	ThermalFrac float64
+	// ThermalTicks is a thermal excursion's duration (default 4).
+	ThermalTicks int
+}
+
+// Empty reports whether the profile schedules no events at all.
+func (p OpsProfile) Empty() bool {
+	return p.ChipDeaths == 0 && p.LinkFlaps == 0 &&
+		p.Brownouts == 0 && p.RackBrownouts == 0 && p.Thermals == 0
+}
+
+// withDefaults fills the shape defaults for enabled event classes.
+func (p OpsProfile) withDefaults() OpsProfile {
+	if p.LinkFlaps > 0 {
+		if p.FlapTicks == 0 {
+			p.FlapTicks = 6
+		}
+		if p.GraceTicks == 0 {
+			p.GraceTicks = 2
+		}
+		if p.ReAdmitTicks == 0 {
+			p.ReAdmitTicks = 2
+		}
+	}
+	if p.Brownouts > 0 || p.RackBrownouts > 0 {
+		if p.BrownoutFrac == 0 {
+			p.BrownoutFrac = 0.6
+		}
+		if p.BrownoutTicks == 0 {
+			p.BrownoutTicks = 6
+		}
+	}
+	if p.Thermals > 0 {
+		if p.ThermalFrac == 0 {
+			p.ThermalFrac = 0.5
+		}
+		if p.ThermalTicks == 0 {
+			p.ThermalTicks = 4
+		}
+	}
+	return p
+}
+
+// Validate rejects negative counts and out-of-range shapes.
+func (p OpsProfile) Validate() error {
+	if p.ChipDeaths < 0 || p.LinkFlaps < 0 || p.Brownouts < 0 ||
+		p.RackBrownouts < 0 || p.Thermals < 0 {
+		return fmt.Errorf("dc: negative event count in ops profile %+v", p)
+	}
+	if p.FlapTicks < 0 || p.GraceTicks < 0 || p.ReAdmitTicks < 0 ||
+		p.BrownoutTicks < 0 || p.ThermalTicks < 0 {
+		return fmt.Errorf("dc: negative duration in ops profile %+v", p)
+	}
+	if p.BrownoutFrac < 0 || p.BrownoutFrac > 1 {
+		return fmt.Errorf("dc: brownout-frac %v outside [0,1]", p.BrownoutFrac)
+	}
+	if p.ThermalFrac < 0 || p.ThermalFrac >= 1 {
+		return fmt.Errorf("dc: thermal-frac %v outside [0,1) — the excursion must land below the idle floor", p.ThermalFrac)
+	}
+	return nil
+}
+
+// opsPresets are the named scenarios -ops-fault-profile accepts.
+var opsPresets = map[string]OpsProfile{
+	"none": {},
+	// ops-storm: a bit of everything — the baseline hostile operation.
+	"ops-storm": {ChipDeaths: 1, LinkFlaps: 2, Brownouts: 1, Thermals: 1},
+	// chip-death: one node dies mid-sim; its tenants must migrate.
+	"chip-death": {ChipDeaths: 1},
+	// flaky-links: FSP links drop long enough to quarantine, then
+	// recover — the full grace → quarantine → re-admit ladder.
+	"flaky-links": {LinkFlaps: 2},
+	// brownout / rack-brownout: one PDU cap excursion at the chassis
+	// or rack level; the water-fill degrades and recovers.
+	"brownout":      {Brownouts: 1},
+	"rack-brownout": {RackBrownouts: 1},
+	// thermal: one chip is forced below its idle floor.
+	"thermal": {Thermals: 1},
+}
+
+// OpsPresetNames lists the named ops profiles in sorted order.
+func OpsPresetNames() []string {
+	var names []string
+	for n := range opsPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseOpsProfile builds an OpsProfile from a spec string in the style
+// of fault.ParseProfile: a preset name ("ops-storm"), a comma-separated
+// key=value list ("chip-deaths=1,brownouts=2"), or a preset with
+// overrides ("flaky-links,grace=4"). The empty string and "none" are
+// the empty profile.
+func ParseOpsProfile(spec string) (OpsProfile, error) {
+	var p OpsProfile
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "=") {
+			base, ok := opsPresets[part]
+			if !ok {
+				return OpsProfile{}, fmt.Errorf("dc: unknown ops profile %q (have %s)",
+					part, strings.Join(OpsPresetNames(), ", "))
+			}
+			if i != 0 {
+				return OpsProfile{}, fmt.Errorf("dc: preset %q must come first in %q", part, spec)
+			}
+			p = base
+			continue
+		}
+		k, v, _ := strings.Cut(part, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if err := p.set(k, v); err != nil {
+			return OpsProfile{}, err
+		}
+	}
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return OpsProfile{}, err
+	}
+	return p, nil
+}
+
+// set applies one key=value override.
+func (p *OpsProfile) set(k, v string) error {
+	parseCount := func() (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("dc: bad count %q for %s", v, k)
+		}
+		return n, nil
+	}
+	parseFrac := func() (float64, error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("dc: bad value %q for %s", v, k)
+		}
+		return f, nil
+	}
+	var err error
+	switch k {
+	case "chip-deaths":
+		p.ChipDeaths, err = parseCount()
+	case "link-flaps":
+		p.LinkFlaps, err = parseCount()
+	case "flap-ticks":
+		p.FlapTicks, err = parseCount()
+	case "grace":
+		p.GraceTicks, err = parseCount()
+	case "readmit":
+		p.ReAdmitTicks, err = parseCount()
+	case "brownouts":
+		p.Brownouts, err = parseCount()
+	case "rack-brownouts":
+		p.RackBrownouts, err = parseCount()
+	case "brownout-frac":
+		p.BrownoutFrac, err = parseFrac()
+	case "brownout-ticks":
+		p.BrownoutTicks, err = parseCount()
+	case "thermals":
+		p.Thermals, err = parseCount()
+	case "thermal-frac":
+		p.ThermalFrac, err = parseFrac()
+	case "thermal-ticks":
+		p.ThermalTicks, err = parseCount()
+	default:
+		return fmt.Errorf("dc: unknown ops key %q (want chip-deaths, link-flaps, flap-ticks, grace, readmit, brownouts, rack-brownouts, brownout-frac, brownout-ticks, thermals, thermal-frac, thermal-ticks)", k)
+	}
+	return err
+}
+
+// String renders the profile as a canonical key=value spec
+// ParseOpsProfile accepts; the empty profile renders as "none".
+func (p OpsProfile) String() string {
+	var parts []string
+	addN := func(k string, n int) {
+		if n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	addF := func(k string, f float64) {
+		if f != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, f))
+		}
+	}
+	addN("chip-deaths", p.ChipDeaths)
+	addN("link-flaps", p.LinkFlaps)
+	addN("flap-ticks", p.FlapTicks)
+	addN("grace", p.GraceTicks)
+	addN("readmit", p.ReAdmitTicks)
+	addN("brownouts", p.Brownouts)
+	addN("rack-brownouts", p.RackBrownouts)
+	addF("brownout-frac", p.BrownoutFrac)
+	addN("brownout-ticks", p.BrownoutTicks)
+	addN("thermals", p.Thermals)
+	addF("thermal-frac", p.ThermalFrac)
+	addN("thermal-ticks", p.ThermalTicks)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// OpsKind identifies a scheduled operational event class.
+type OpsKind uint8
+
+// The scheduled event classes, in intra-tick application order.
+const (
+	OpsChipDeath OpsKind = iota
+	OpsLinkFlap
+	OpsThermal
+	OpsBrownout
+	OpsRackBrownout
+)
+
+// String names the event class for the emitted timeline.
+func (k OpsKind) String() string {
+	switch k {
+	case OpsChipDeath:
+		return "chip-death"
+	case OpsLinkFlap:
+		return "link-down"
+	case OpsThermal:
+		return "thermal-start"
+	case OpsBrownout:
+		return "brownout-start"
+	case OpsRackBrownout:
+		return "brownout-start"
+	default:
+		return "invalid"
+	}
+}
+
+// OpsSched is one scheduled event: when it fires, what it is, and
+// which entity it targets (chip index for deaths/flaps/thermals,
+// chassis index rack*chassisPerRack+chassis for chassis brownouts,
+// rack index for rack brownouts). Duration is the event's active
+// window in ticks.
+type OpsSched struct {
+	Tick     int
+	Kind     OpsKind
+	Target   int
+	Duration int
+}
+
+// opsCandidate ranks one entity for event selection.
+type opsCandidate struct {
+	score uint64
+	idx   int
+	tick  int
+}
+
+// pickLowest sorts candidates by (score, idx) and returns the first n.
+// The ranking makes "which N entities are hit" a pure function of the
+// seeded per-entity streams, independent of topology iteration order.
+func pickLowest(cands []opsCandidate, n int) []opsCandidate {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	return cands[:n]
+}
+
+// DrawOps draws the operational fault schedule for the topology from
+// labelled per-entity streams of the ops seed. live, when non-nil,
+// marks the chips eligible for chip-scoped events (deaths, flaps,
+// thermals) — intake-quarantined nodes cannot die twice; nil treats
+// every chip as live. The returned schedule is sorted by (tick, kind,
+// target) and is a pure function of (profile, seed, topology, live).
+func DrawOps(p OpsProfile, seed uint64, o Options, live []bool) []OpsSched {
+	p = p.withDefaults()
+	if p.Empty() {
+		return nil
+	}
+	o = o.withDefaults()
+	if seed == 0 {
+		seed = 1
+	}
+	base := rng.New(seed)
+	maxTick := o.Ticks - 1
+	if maxTick < 1 {
+		maxTick = 1
+	}
+
+	nChips := o.Racks * o.ChassisPerRack * o.ChipsPerChassis
+	// Per-chip streams: each live chip draws (score, tick) for every
+	// chip-scoped event class in a fixed order, so the schedule never
+	// depends on which classes are enabled.
+	deaths := make([]opsCandidate, 0, nChips)
+	flaps := make([]opsCandidate, 0, nChips)
+	thermals := make([]opsCandidate, 0, nChips)
+	i := 0
+	for r := 0; r < o.Racks; r++ {
+		for c := 0; c < o.ChassisPerRack; c++ {
+			for s := 0; s < o.ChipsPerChassis; s++ {
+				if live == nil || live[i] {
+					st := base.Split("dc/ops/" + NodeID(r, c, s))
+					deaths = append(deaths, opsCandidate{st.Uint64(), i, 1 + st.Intn(maxTick)})
+					flaps = append(flaps, opsCandidate{st.Uint64(), i, 1 + st.Intn(maxTick)})
+					thermals = append(thermals, opsCandidate{st.Uint64(), i, 1 + st.Intn(maxTick)})
+				}
+				i++
+			}
+		}
+	}
+	// Per-chassis and per-rack streams for the PDU excursions.
+	chassis := make([]opsCandidate, 0, o.Racks*o.ChassisPerRack)
+	racks := make([]opsCandidate, 0, o.Racks)
+	for r := 0; r < o.Racks; r++ {
+		for c := 0; c < o.ChassisPerRack; c++ {
+			st := base.Split(fmt.Sprintf("dc/ops/r%02dc%02d", r, c))
+			chassis = append(chassis, opsCandidate{st.Uint64(), r*o.ChassisPerRack + c, 1 + st.Intn(maxTick)})
+		}
+		st := base.Split(fmt.Sprintf("dc/ops/r%02d", r))
+		racks = append(racks, opsCandidate{st.Uint64(), r, 1 + st.Intn(maxTick)})
+	}
+
+	var sched []OpsSched
+	for _, c := range pickLowest(deaths, p.ChipDeaths) {
+		sched = append(sched, OpsSched{Tick: c.tick, Kind: OpsChipDeath, Target: c.idx})
+	}
+	for _, c := range pickLowest(flaps, p.LinkFlaps) {
+		sched = append(sched, OpsSched{Tick: c.tick, Kind: OpsLinkFlap, Target: c.idx, Duration: p.FlapTicks})
+	}
+	for _, c := range pickLowest(thermals, p.Thermals) {
+		sched = append(sched, OpsSched{Tick: c.tick, Kind: OpsThermal, Target: c.idx, Duration: p.ThermalTicks})
+	}
+	for _, c := range pickLowest(chassis, p.Brownouts) {
+		sched = append(sched, OpsSched{Tick: c.tick, Kind: OpsBrownout, Target: c.idx, Duration: p.BrownoutTicks})
+	}
+	for _, c := range pickLowest(racks, p.RackBrownouts) {
+		sched = append(sched, OpsSched{Tick: c.tick, Kind: OpsRackBrownout, Target: c.idx, Duration: p.BrownoutTicks})
+	}
+	sort.Slice(sched, func(a, b int) bool {
+		if sched[a].Tick != sched[b].Tick {
+			return sched[a].Tick < sched[b].Tick
+		}
+		if sched[a].Kind != sched[b].Kind {
+			return sched[a].Kind < sched[b].Kind
+		}
+		return sched[a].Target < sched[b].Target
+	})
+	return sched
+}

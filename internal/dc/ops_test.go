@@ -1,0 +1,321 @@
+package dc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// opsOpts is the ops-plane test campaign: the small topology under a
+// longer horizon with enough tenants that displaced work has somewhere
+// to land. Every assertion below is deterministic in (seed, ops seed).
+func opsOpts(profile string) Options {
+	o := smallOpts()
+	o.Ticks = 32
+	o.Tenants = 16
+	o.Seed = 1
+	o.OpsFaultProfile = profile
+	o.OpsFaultSeed = 1
+	return o
+}
+
+func opsRun(t *testing.T, profile string) *Result {
+	t.Helper()
+	res, err := Run(opsOpts(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == nil {
+		t.Fatalf("profile %q: result carries no ops summary", profile)
+	}
+	return res
+}
+
+func eventTicks(res *Result, kind string) []int {
+	var ticks []int
+	for _, ev := range res.Events {
+		if ev.Kind == kind {
+			ticks = append(ticks, ev.Tick)
+		}
+	}
+	return ticks
+}
+
+// TestOpsNoneMatchesPlain: -ops-fault-profile none must be
+// byte-identical to a run with the plane off — the PR 9 golden parity
+// the ops plane is built around.
+func TestOpsNoneMatchesPlain(t *testing.T) {
+	plain, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.OpsFaultProfile = "none"
+	o.OpsFaultSeed = 99 // must be inert when the profile is empty
+	none, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Ops != nil || len(none.Events) != 0 {
+		t.Fatal("empty ops profile still produced an ops summary or events")
+	}
+	if !bytes.Equal(canon(t, plain), canon(t, none)) {
+		t.Fatal("ops-fault-profile none diverged from a plain run")
+	}
+}
+
+// TestOpsChipDeathMigratesDisplaced: a chip dying mid-sim evacuates
+// its tenants and the scheduler re-places every one of them — nothing
+// shed, no cap violations, SAFE verdict.
+func TestOpsChipDeathMigratesDisplaced(t *testing.T) {
+	res := opsRun(t, "chip-death")
+	ops := res.Ops
+	if ops.ChipDeaths != 1 {
+		t.Fatalf("applied %d chip deaths, want 1", ops.ChipDeaths)
+	}
+	if ops.Evacuations != 1 || ops.Migrations != 1 || ops.Shed != 0 || ops.Recovered != 1 {
+		t.Fatalf("tenant fate = evac %d / mig %d / shed %d / recovered %d, want 1/1/0/1",
+			ops.Evacuations, ops.Migrations, ops.Shed, ops.Recovered)
+	}
+	if res.Budget.Violations != 0 {
+		t.Fatalf("%d cap violations during recovery", res.Budget.Violations)
+	}
+	if !ops.Safe || ops.Verdict() != "SAFE" {
+		t.Fatalf("verdict = %s, want SAFE", ops.Verdict())
+	}
+	// Per-tenant accounting mirrors the summary.
+	migSum, displaced := 0, 0
+	for _, tn := range res.Tenants {
+		migSum += tn.Migrations
+		if tn.Migrations > 0 || tn.Shed {
+			displaced++
+			if tn.Node == "" {
+				t.Fatalf("displaced tenant %d lost its node attribution", tn.ID)
+			}
+		}
+	}
+	if migSum != ops.Migrations {
+		t.Fatalf("tenant migration sum %d != summary %d", migSum, ops.Migrations)
+	}
+	if displaced != ops.Recovered+ops.Shed {
+		t.Fatalf("%d displaced tenants, summary accounts for %d", displaced, ops.Recovered+ops.Shed)
+	}
+	// The timeline shows the death before the re-placement.
+	deaths, migs := eventTicks(res, "chip-death"), eventTicks(res, "migrate")
+	if len(deaths) != 1 || len(migs) != 1 {
+		t.Fatalf("events: %d chip-death, %d migrate, want 1 each", len(deaths), len(migs))
+	}
+	if migs[0] < deaths[0] {
+		t.Fatalf("migrate at tick %d precedes chip-death at tick %d", migs[0], deaths[0])
+	}
+}
+
+// TestOpsFlakyLinksQuarantineLadder: link flaps outlasting the grace
+// window walk the full ladder — link-down, quarantine, re-admit — and
+// the MTTR is the observed repair time, not zero.
+func TestOpsFlakyLinksQuarantineLadder(t *testing.T) {
+	res := opsRun(t, "flaky-links")
+	ops := res.Ops
+	if ops.LinkFlaps != 2 {
+		t.Fatalf("applied %d link flaps, want 2", ops.LinkFlaps)
+	}
+	if ops.Quarantines != 2 || ops.Readmits != 2 {
+		t.Fatalf("ladder = %d quarantine(s) / %d readmit(s), want 2/2", ops.Quarantines, ops.Readmits)
+	}
+	if ops.MTTRTicks <= 0 {
+		t.Fatalf("MTTR = %v ticks, want > 0", ops.MTTRTicks)
+	}
+	if ops.Shed != 0 || !ops.Safe || res.Budget.Violations != 0 {
+		t.Fatalf("ladder run not clean: shed %d, safe %v, violations %d",
+			ops.Shed, ops.Safe, res.Budget.Violations)
+	}
+	if ops.Evacuations == 0 || ops.Migrations != ops.Evacuations {
+		t.Fatalf("evacuations %d / migrations %d: every displaced tenant must re-place",
+			ops.Evacuations, ops.Migrations)
+	}
+	// Per node: the quarantine sits between its link-down and its
+	// readmit on the tick axis.
+	for _, q := range res.Events {
+		if q.Kind != "quarantine" {
+			continue
+		}
+		sawDown, sawReadmit := false, false
+		for _, ev := range res.Events {
+			if ev.Node != q.Node {
+				continue
+			}
+			if ev.Kind == "link-down" && ev.Tick <= q.Tick {
+				sawDown = true
+			}
+			if ev.Kind == "readmit" && ev.Tick > q.Tick {
+				sawReadmit = true
+			}
+		}
+		if !sawDown || !sawReadmit {
+			t.Fatalf("node %s quarantined at tick %d without a preceding link-down (%v) or a later readmit (%v)",
+				q.Node, q.Tick, sawDown, sawReadmit)
+		}
+	}
+	// The availability column reflects the dark/quarantined window.
+	sawDown := false
+	for _, row := range res.Timeline {
+		if row.Down > 0 {
+			sawDown = true
+			break
+		}
+	}
+	if !sawDown {
+		t.Fatal("timeline never reported a chip out of service")
+	}
+}
+
+// TestOpsBrownoutDegradedRebalance: a chassis PDU brownout drops the
+// effective cap mid-run; the water-fill re-apportions the survivors
+// under the reduced budget and restores them afterwards with zero cap
+// violations on the whole timeline.
+func TestOpsBrownoutDegradedRebalance(t *testing.T) {
+	res := opsRun(t, "brownout")
+	ops := res.Ops
+	if ops.Brownouts != 1 {
+		t.Fatalf("applied %d brownouts, want 1", ops.Brownouts)
+	}
+	if res.Budget.Violations != 0 || !ops.Safe {
+		t.Fatalf("degraded water-fill violated caps: %d violation(s), safe %v",
+			res.Budget.Violations, ops.Safe)
+	}
+	starts, ends := eventTicks(res, "brownout-start"), eventTicks(res, "brownout-end")
+	if len(starts) != 1 || len(ends) != 1 {
+		t.Fatalf("events: %d brownout-start, %d brownout-end, want 1 each", len(starts), len(ends))
+	}
+	if ends[0] <= starts[0] {
+		t.Fatalf("brownout ends at tick %d, starts at tick %d", ends[0], starts[0])
+	}
+	for _, ev := range res.Events {
+		if ev.Kind == "brownout-start" {
+			if ev.CapW <= 0 || ev.CapW >= res.Budget.ChassisCapW {
+				t.Fatalf("brownout cap %v W not inside (0, chassis cap %v W)", ev.CapW, res.Budget.ChassisCapW)
+			}
+		}
+	}
+}
+
+// TestOpsThermalForcedBelowIdle: a thermal excursion forces a chip's
+// ceiling below its idle floor — the one sanctioned carve-out of the
+// cap invariant — and the run still records zero violations.
+func TestOpsThermalForcedBelowIdle(t *testing.T) {
+	res := opsRun(t, "thermal")
+	ops := res.Ops
+	if ops.Thermals != 1 {
+		t.Fatalf("applied %d thermals, want 1", ops.Thermals)
+	}
+	if res.Budget.Violations != 0 || !ops.Safe {
+		t.Fatalf("thermal carve-out misread as violation: %d violation(s), safe %v",
+			res.Budget.Violations, ops.Safe)
+	}
+	idleOf := make(map[string]float64, len(res.Chips))
+	for _, c := range res.Chips {
+		idleOf[c.Node] = c.IdleW
+	}
+	seen := false
+	for _, ev := range res.Events {
+		if ev.Kind != "thermal-start" {
+			continue
+		}
+		seen = true
+		idle, ok := idleOf[ev.Node]
+		if !ok {
+			t.Fatalf("thermal-start names unknown node %q", ev.Node)
+		}
+		if ev.CapW <= 0 || ev.CapW >= idle {
+			t.Fatalf("thermal cap %v W on %s not below its idle floor %v W", ev.CapW, ev.Node, idle)
+		}
+	}
+	if !seen {
+		t.Fatal("no thermal-start event emitted")
+	}
+}
+
+// TestOpsShedUnrecoveredTenants: kill the whole (tiny) fleet and the
+// displaced tenants have nowhere to go — they are shed at the horizon,
+// the verdict flips UNSAFE, and the per-tenant records agree.
+func TestOpsShedUnrecoveredTenants(t *testing.T) {
+	o := Options{
+		Racks: 1, ChassisPerRack: 1, ChipsPerChassis: 2,
+		Ticks: 10, Tenants: 12, Seed: 1,
+		OpsFaultProfile: "chip-deaths=2", OpsFaultSeed: 1,
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.Ops
+	if ops == nil || ops.ChipDeaths != 2 {
+		t.Fatalf("ops summary %+v, want 2 applied chip deaths", ops)
+	}
+	if ops.Shed == 0 {
+		t.Fatal("whole fleet dead but no tenant was shed")
+	}
+	if ops.Safe || ops.Verdict() != "UNSAFE" {
+		t.Fatalf("verdict = %s with %d shed tenant(s), want UNSAFE", ops.Verdict(), ops.Shed)
+	}
+	shed := 0
+	for _, tn := range res.Tenants {
+		if !tn.Shed {
+			continue
+		}
+		shed++
+		if tn.Completed {
+			t.Fatalf("tenant %d both shed and completed", tn.ID)
+		}
+	}
+	if shed != ops.Shed {
+		t.Fatalf("%d tenants marked shed, summary says %d", shed, ops.Shed)
+	}
+	if ops.TenantTicksLost == 0 {
+		t.Fatal("shed tenants lost zero tenant-ticks")
+	}
+}
+
+// TestOpsWorkerCountInvariance: the full ops-storm scenario — death,
+// flaps, brownout, thermal, the complete recovery ladder — must stay
+// byte-identical across intake worker counts, like every other output.
+func TestOpsWorkerCountInvariance(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 3, 8} {
+		o := opsOpts("ops-storm")
+		o.Workers = workers
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := canon(t, res)
+		if ref == nil {
+			ref = got
+			if res.Ops.Migrations == 0 {
+				t.Fatal("ops-storm displaced nothing; the invariance case is vacuous")
+			}
+			continue
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: ops-faulted canonical output diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestRemoveTenantClearsVacatedSlot: the completion-path helper must
+// nil the vacated tail slot so the backing array does not pin the
+// removed tenant for the rest of the run (sim.go's removeTenant).
+func TestRemoveTenantClearsVacatedSlot(t *testing.T) {
+	a, b, c := &tenant{id: 1}, &tenant{id: 2}, &tenant{id: 3}
+	list := []*tenant{a, b, c}
+	got := removeTenant(list, b)
+	if len(got) != 2 || got[0] != a || got[1] != c {
+		t.Fatalf("removeTenant returned %v", got)
+	}
+	if tail := list[:3][2]; tail != nil {
+		t.Fatalf("vacated tail slot still pins tenant %d", tail.id)
+	}
+	// Removing a tenant that is not in the list is a no-op.
+	if got = removeTenant(got, b); len(got) != 2 {
+		t.Fatalf("no-op removal changed length to %d", len(got))
+	}
+}

@@ -28,6 +28,11 @@ type PlacerChip struct {
 	// Quarantined marks a chip the scheduler never places on: every
 	// core quarantined at intake.
 	Quarantined bool
+	// Offline marks a chip removed from the pool at runtime by the
+	// operational fault plane — dead, telemetry-dark past grace, or
+	// breaker-quarantined pending re-admission. Unlike Quarantined it
+	// can clear again (Rebuild).
+	Offline bool
 	// IdleW is the chip's measured all-idle power; SpanW is the
 	// measured per-core idle→loaded span (the power one fully loaded
 	// core adds).
@@ -97,7 +102,7 @@ func (p *Placer) Place(cdyn float64, allow []float64) (chipIdx, coreIdx int, pre
 		if !ch.Breaker.Allow() {
 			continue
 		}
-		if ch.Quarantined || ch.freeCores == 0 {
+		if ch.Quarantined || ch.Offline || ch.freeCores == 0 {
 			continue
 		}
 		projected := ch.demand + cdyn*ch.SpanW
@@ -142,4 +147,46 @@ func (p *Placer) Release(chipIdx, coreIdx int, cdyn float64) {
 //atm:hotpath
 func (p *Placer) AddDemand(chipIdx int, delta float64) {
 	p.Chips[chipIdx].demand += delta
+}
+
+// Reset takes chip i out of the schedulable pool at runtime: the ops
+// plane calls it when a chip dies or is quarantined after its
+// telemetry-loss grace window expires. All occupancy is cleared (the
+// caller evacuates the tenants) and the modeled draw drops to zero —
+// a dead or dark chip contributes nothing to the hierarchy. dead
+// distinguishes permanent loss from a quarantine that may later be
+// lifted by Rebuild; it is recorded via Offline either way, with
+// Quarantined reserved for intake outcomes.
+func (p *Placer) Reset(i int, dead bool) {
+	ch := &p.Chips[i]
+	ch.Offline = true
+	if dead {
+		ch.Quarantined = true
+	}
+	for j := range ch.busy {
+		ch.busy[j] = false
+	}
+	ch.freeCores = 0
+	ch.demand = 0
+}
+
+// Rebuild re-admits chip i with a freshly validated view of its
+// intake provision: the idle/span envelope and per-core Eq. 1 fits.
+// Occupancy restarts empty — evacuated tenants re-enter through the
+// queue — and the modeled draw restarts at the idle floor.
+func (p *Placer) Rebuild(i int, idleW, spanW float64, cores []PlacerCore) {
+	ch := &p.Chips[i]
+	ch.Offline = false
+	ch.Quarantined = false
+	ch.IdleW = idleW
+	ch.SpanW = spanW
+	ch.Cores = cores
+	ch.busy = make([]bool, len(cores))
+	ch.freeCores = 0
+	for _, c := range cores {
+		if !c.Quarantined {
+			ch.freeCores++
+		}
+	}
+	ch.demand = idleW
 }

@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/fleet"
@@ -31,12 +32,23 @@ type tenant struct {
 
 	chip, core int // -1 while unplaced
 	coreLabel  string
+	nodeID     string
 	predMHz    float64
 	start, end int
 	remaining  int
 
 	placed, completed, throttled bool
 	throttledTicks               int
+
+	// Operational-fault bookkeeping: a tenant evacuated off a dying or
+	// quarantined chip re-enters the queue with pendingMig set until
+	// the placer finds it a new home (a migration) or the horizon ends
+	// (shed). downtimeTicks counts the queued-while-displaced ticks.
+	pendingMig    bool
+	everDisplaced bool
+	shed          bool
+	migrations    int
+	downtimeTicks int
 }
 
 // makeTenants draws the arrival stream from its own labelled split of
@@ -71,9 +83,18 @@ func makeTenants(o Options) []*tenant {
 }
 
 // simulate runs the operation phase over the merged intake results and
-// assembles the canonical Result.
-func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (*Result, error) {
-	chips, sums := intakeChips(o, fres)
+// assembles the canonical Result. ops is the parsed operational fault
+// profile; the empty profile selects the exact pre-ops code path, so
+// "-ops-fault-profile none" stays byte-identical to a plain run.
+func simulate(o Options, ops OpsProfile, campaign *fleet.Campaign, fres *fleet.CampaignResult) (*Result, error) {
+	opsOn := !ops.Empty()
+	// With the ops plane active, live-node breakers run on the sim's
+	// logical tick clock so quarantine windows are measured in ticks.
+	var clock *int64
+	if opsOn {
+		clock = new(int64)
+	}
+	chips, sums, provs := intakeChips(o, fres, clock, int64(ops.ReAdmitTicks))
 	rackCap, chassisCap, chipCap := autoCaps(o, chips)
 
 	nChips := len(chips)
@@ -109,6 +130,36 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 	// throttle scan.
 	perChip := make([][]*tenant, nChips)
 
+	var queue []*tenant
+	var running []*tenant
+
+	// The ops plane, when armed: its evacuation callback pulls a dying
+	// or quarantined chip's tenants back into the queue; the tick loop
+	// filters them out of running by their cleared placement.
+	var opsP *opsPlane
+	var telemetry, lastTele []float64
+	if opsOn {
+		evacuate := func(chip, _ int) int {
+			list := perChip[chip]
+			for _, t := range list {
+				t.chip, t.core = -1, -1
+				t.throttled = false
+				t.pendingMig = true
+				t.everDisplaced = true
+				queue = append(queue, t)
+			}
+			n := len(list)
+			for k := range list {
+				list[k] = nil // do not retain evicted tenants in the backing array
+			}
+			perChip[chip] = list[:0]
+			return n
+		}
+		opsP = newOpsPlane(ops, o.OpsFaultSeed, o, placer, tree, provs, evacuate, o.Obs)
+		telemetry = make([]float64, nChips)
+		lastTele = make([]float64, nChips)
+	}
+
 	res := &Result{
 		Topology: Topology{
 			Racks:           o.Racks,
@@ -133,8 +184,6 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 		},
 	}
 
-	var queue []*tenant
-	var running []*tenant
 	for tick := 0; tick < o.Ticks; tick++ {
 		// Completions: un-throttled tenants burn one tick of work.
 		live := running[:0]
@@ -153,6 +202,25 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 			live = append(live, t)
 		}
 		running = live
+
+		// Operational events and recoveries fire before the budget
+		// pass, so freed or reduced capacity is re-apportioned this
+		// tick. Evacuated tenants leave running by their cleared
+		// placement and are already back in the queue.
+		if opsP != nil {
+			*clock = int64(tick)
+			opsP.beginTick(tick)
+			live := running[:0]
+			for _, t := range running {
+				if t.chip >= 0 {
+					live = append(live, t)
+				}
+			}
+			for k := len(live); k < len(running); k++ {
+				running[k] = nil
+			}
+			running = live
+		}
 
 		// Arrivals join the queue, critical tenants ahead of the rest,
 		// ID order within a class (stable sort on a deterministic
@@ -206,7 +274,8 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 				continue
 			}
 			t.chip, t.core = ci, cj
-			t.coreLabel = chips[ci].Cores[cj].Label
+			t.coreLabel = placer.Chips[ci].Cores[cj].Label
+			t.nodeID = placer.Chips[ci].ID
 			t.predMHz = pred
 			t.start = tick
 			t.placed = true
@@ -214,8 +283,26 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 			running = append(running, t)
 			placements.Inc()
 			res.Placement.Placed++
+			if t.pendingMig {
+				t.pendingMig = false
+				t.migrations++
+				opsP.sum.Migrations++
+				opsP.migrC.Inc()
+				opsP.emit(OpsEvent{Tick: tick, Kind: "migrate", Node: t.nodeID,
+					Detail: fmt.Sprintf("tenant %d re-placed on %s", t.id, t.coreLabel)})
+			}
 		}
 		queue = still
+
+		// Displaced tenants still queued lose this tick.
+		if opsP != nil {
+			for _, t := range queue {
+				if t.pendingMig {
+					t.downtimeTicks++
+					opsP.sum.TenantTicksLost++
+				}
+			}
+		}
 
 		// Throttle/resume against the allowance: resume in placement
 		// order (critical tenants were queued first), then shed from
@@ -245,48 +332,94 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 			}
 		}
 
-		// Measure and regulate.
+		// Measure and regulate. A node running dark (FSP link down,
+		// inside the grace window) holds its last good telemetry sample
+		// for the integral controller; the violation accounting below
+		// always uses the actual draw.
 		for i := range measured {
 			measured[i] = placer.Demand(i)
 		}
-		tree.Regulate(measured)
+		if opsP != nil {
+			for i := range measured {
+				if opsP.dark(i, tick) {
+					telemetry[i] = lastTele[i]
+					continue
+				}
+				telemetry[i] = measured[i]
+				lastTele[i] = measured[i]
+			}
+			tree.Regulate(telemetry)
+		} else {
+			tree.Regulate(measured)
+		}
 
 		// Record the tick: level maxima and cap violations.
 		row := TickRow{Tick: tick, Queued: len(queue), Running: len(running)}
+		if opsP != nil {
+			row.Down = opsP.downCount(tick)
+		}
 		for _, t := range running {
 			if t.throttled {
 				t.throttledTicks++
 				row.Throttled++
 			}
 		}
+		// With the ops plane active the thresholds track the effective
+		// caps, plus the forced-below-idle carve-out: a chip cannot shed
+		// under its idle floor, so each level excuses exactly the idle
+		// draw its grants could not cover (Σ max(0, idle − grant)). The
+		// invariant checked is "no level exceeds its grant unless forced
+		// below idle". Without the plane this is the original scalar
+		// accounting, byte for byte.
 		idx := 0
 		for r := 0; r < o.Racks; r++ {
 			rackW := 0.0
+			rackSlack := 0.0
 			for c := 0; c < o.ChassisPerRack; c++ {
 				chassisW := 0.0
+				chassisSlack := 0.0
 				for s := 0; s < o.ChipsPerChassis; s++ {
 					w := measured[idx]
 					chassisW += w
 					if w > row.ChipMaxW {
 						row.ChipMaxW = w
 					}
-					if w > chipCap+budgetEps {
+					thr := chipCap
+					if opsP != nil {
+						thr = tree.ChipCapEff(idx)
+						if fl := tree.Idle(idx); fl > thr {
+							thr = fl
+						}
+						if sl := tree.Idle(idx) - grants[idx]; sl > 0 {
+							chassisSlack += sl
+						}
+					}
+					if w > thr+budgetEps {
 						row.Violations++
 					}
 					idx++
 				}
 				rackW += chassisW
+				rackSlack += chassisSlack
 				if chassisW > row.ChassisMaxW {
 					row.ChassisMaxW = chassisW
 				}
-				if chassisW > chassisCap+budgetEps {
+				thr := chassisCap
+				if opsP != nil {
+					thr = tree.ChassisCapEff(r*o.ChassisPerRack+c) + chassisSlack
+				}
+				if chassisW > thr+budgetEps {
 					row.Violations++
 				}
 			}
 			if rackW > row.RackMaxW {
 				row.RackMaxW = rackW
 			}
-			if rackW > rackCap+budgetEps {
+			thr := rackCap
+			if opsP != nil {
+				thr = tree.RackCapEff(r) + rackSlack
+			}
+			if rackW > thr+budgetEps {
 				row.Violations++
 			}
 		}
@@ -309,6 +442,22 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 		res.Timeline = append(res.Timeline, row)
 	}
 
+	// Horizon accounting for the ops plane: displaced tenants the
+	// placer never found a new home for are shed; every other displaced
+	// tenant recovered.
+	if opsP != nil {
+		for _, t := range tenants {
+			if t.pendingMig {
+				t.shed = true
+				opsP.sum.Shed++
+				opsP.emit(OpsEvent{Tick: o.Ticks, Kind: "shed",
+					Detail: fmt.Sprintf("tenant %d displaced and never re-placed", t.id)})
+			} else if t.everDisplaced {
+				opsP.sum.Recovered++
+			}
+		}
+	}
+
 	// Outcomes in tenant order; spans on the tick axis after the loop
 	// so the trace is deterministic.
 	for _, t := range tenants {
@@ -321,9 +470,12 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 			ThrottledTicks: t.throttledTicks,
 			Placed:         t.placed,
 			Completed:      t.completed,
+			Migrations:     t.migrations,
+			DowntimeTicks:  t.downtimeTicks,
+			Shed:           t.shed,
 		}
 		if t.placed {
-			out.Node = chips[t.chip].ID
+			out.Node = t.nodeID
 			out.Core = t.coreLabel
 			out.Start = t.start
 			out.End = t.end
@@ -342,14 +494,26 @@ func simulate(o Options, campaign *fleet.Campaign, fres *fleet.CampaignResult) (
 	for i := range chips {
 		res.Placement.BreakerRejected += chips[i].Breaker.Rejected()
 	}
+	if opsP != nil {
+		opsP.sum.Safe = opsP.sum.Shed == 0 && res.Budget.Violations == 0
+		if opsP.sum.Readmits > 0 {
+			opsP.sum.MTTRTicks = float64(opsP.downTicksTotal) / float64(opsP.sum.Readmits)
+		}
+		res.Ops = &opsP.sum
+		res.Events = opsP.events
+	}
 	return res, nil
 }
 
-// removeTenant drops t from list preserving order.
+// removeTenant drops t from list preserving order, clearing the
+// vacated tail slot so the backing array does not keep the evicted
+// *tenant reachable.
 func removeTenant(list []*tenant, t *tenant) []*tenant {
 	for i, x := range list {
 		if x == t {
-			return append(list[:i], list[i+1:]...)
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
 		}
 	}
 	return list

@@ -115,6 +115,14 @@ type Job struct {
 	// SentinelOff disables the lifetime job's margin sentinel — the
 	// control arm that demonstrates drift without supervision.
 	SentinelOff bool `json:"sentinel_off,omitempty"`
+	// OpsProfile/OpsSeed stamp a dcprovision job with the operational
+	// fault scenario its campaign will run after intake (a canonical
+	// dc.ParseOpsProfile spec; opaque to the engine). The stage itself
+	// ignores them — they exist so the campaign hash, and therefore the
+	// checkpoint manifest, names the whole scenario. Both omitempty:
+	// zero values hash identically to pre-ops specs.
+	OpsProfile string `json:"ops_profile,omitempty"`
+	OpsSeed    uint64 `json:"ops_seed,omitempty"`
 }
 
 // specVersion versions the job hash: bump it when a change to the job

@@ -53,6 +53,8 @@ func TestJobHashDiscriminates(t *testing.T) {
 		{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3, Rollback: 1},
 		{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3, FaultProfile: "broken-core"},
 		{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3, FaultSeed: 9},
+		{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3, OpsProfile: "ops-storm"},
+		{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3, OpsSeed: 9},
 	}
 	seen := map[string]bool{base.Hash(): true}
 	for _, v := range variants {
@@ -61,6 +63,27 @@ func TestJobHashDiscriminates(t *testing.T) {
 			t.Errorf("hash collision for %+v", v)
 		}
 		seen[h] = true
+	}
+}
+
+// TestJobHashOpsFieldCompat: the ops scenario fields ride the PR 7
+// precedent — omitted from the canonical serialization at their zero
+// values, so every pre-ops job spec keeps its hash (and its cache
+// entries) across the upgrade.
+func TestJobHashOpsFieldCompat(t *testing.T) {
+	j := Job{ID: "a", Kind: KindTune, SiliconSeed: 3, Seed: 3}
+	raw, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("ops_profile")) || bytes.Contains(raw, []byte("ops_seed")) {
+		t.Fatalf("zero-valued ops fields leak into the canonical serialization: %s", raw)
+	}
+	armed := j
+	armed.OpsProfile = "ops-storm"
+	armed.OpsSeed = 1
+	if armed.Hash() == j.Hash() {
+		t.Fatal("arming the ops scenario did not change the job hash")
 	}
 }
 

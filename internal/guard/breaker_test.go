@@ -181,6 +181,54 @@ func TestBreakerExternalClock(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenRefailRestartsWindow drives the dc re-admission
+// pattern on the logical tick clock: a probe that fails in half-open
+// re-opens the breaker, the open window restarts from the NEW trip
+// tick, and the next half-open round starts with zero probe credit —
+// a banked success from the failed round must not count.
+func TestBreakerHalfOpenRefailRestartsWindow(t *testing.T) {
+	var clock int64
+	b := NewBreaker(BreakerOptions{
+		FailureThreshold: 1,
+		OpenTicks:        10,
+		HalfOpenProbes:   2,
+		Now:              func() int64 { return clock },
+	})
+	clock = 100
+	b.Failure()
+	clock = 110
+	if !b.Allow() {
+		t.Fatal("Allow shed after the first open window elapsed")
+	}
+	b.Success() // one probe credit banked...
+	b.Failure() // ...then the probe round fails: re-open
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after half-open failure = %v, want open", got)
+	}
+	// The re-opened window runs from tick 110, not the original trip
+	// at tick 100.
+	for _, tick := range []int64{111, 115, 119} {
+		clock = tick
+		if b.Allow() {
+			t.Fatalf("Allow admitted at tick %d inside the restarted window (stale trip tick honored)", tick)
+		}
+	}
+	clock = 120
+	if !b.Allow() {
+		t.Fatal("Allow shed after the restarted window elapsed")
+	}
+	// The banked success from the failed round must not survive: the
+	// new half-open round needs the full probe count.
+	b.Success()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after 1 probe success = %v, want half-open (stale probe credit survived the re-trip)", got)
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after full probe round = %v, want closed", got)
+	}
+}
+
 func TestBreakerNilSafe(t *testing.T) {
 	var b *Breaker
 	if !b.Allow() {

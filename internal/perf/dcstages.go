@@ -39,7 +39,25 @@ func dcStages(quick bool) []Stage {
 		allow[i] = 500
 	}
 
+	opsOpts := dc.Options{Racks: 2, ChassisPerRack: 4, ChipsPerChassis: 8, Ticks: 64}
+
 	return []Stage{
+		{
+			Name: "dc_ops", Group: "dc", AllocStable: true,
+			Note:  "ops profile parse + seeded fault-schedule draw, 2×4×8 topology over 64 ticks (dc.DrawOps)",
+			Iters: pick(quick, 2_000, 50_000),
+			Run: func(iters int) (int64, error) {
+				for i := 0; i < iters; i++ {
+					p, err := dc.ParseOpsProfile("ops-storm,rack-brownouts=1")
+					if err != nil {
+						return 0, err
+					}
+					sched := dc.DrawOps(p, uint64(i%16)+1, opsOpts, nil)
+					sinkF = float64(len(sched))
+				}
+				return int64(iters), nil
+			},
+		},
 		{
 			Name: "dc_budget_step", Group: "dc", AllocStable: true,
 			Note:  "rack→chassis→chip water-fill + integral update, 2×4×8 topology (dc.BudgetTree)",

@@ -157,6 +157,57 @@ type Provision struct {
 	Chips        []ChipProvision `json:"chips"`
 }
 
+// CoreView is one schedulable core as a consumer sees it: label,
+// intake quarantine flag, and the Eq. 1 frequency fit.
+type CoreView struct {
+	Label       string
+	Quarantined bool
+	Slope       float64
+	Intercept   float64
+}
+
+// NodeView is a single-chip node's validated scheduling view: the
+// power envelope (idle floor, per-core idle→loaded span) and per-core
+// fits. Live is false when every core is quarantined.
+type NodeView struct {
+	IdleW float64
+	SpanW float64
+	Live  bool
+	Cores []CoreView
+}
+
+// View validates the provision as a single-chip datacenter node and
+// projects it into the scheduler's shape. It is the re-admission
+// rebuild hook: the dc recovery ladder re-materializes a quarantined
+// node's placement state from this immutable intake record once its
+// telemetry link returns, instead of re-running the (expensive,
+// already cached) provision flow.
+func (p *Provision) View() (NodeView, error) {
+	if len(p.Chips) != 1 {
+		return NodeView{}, fmt.Errorf("platform: provision has %d chips, want 1", len(p.Chips))
+	}
+	cp := p.Chips[0]
+	if cp.LoadedW < cp.IdleW {
+		return NodeView{}, fmt.Errorf("platform: chip %s envelope inverted (idle %.2f W > loaded %.2f W)", cp.Chip, cp.IdleW, cp.LoadedW)
+	}
+	v := NodeView{IdleW: cp.IdleW}
+	if n := len(cp.Cores); n > 0 {
+		v.SpanW = (cp.LoadedW - cp.IdleW) / float64(n)
+	}
+	for _, core := range cp.Cores {
+		v.Cores = append(v.Cores, CoreView{
+			Label:       core.Core,
+			Quarantined: core.Quarantined,
+			Slope:       core.FreqSlope,
+			Intercept:   core.FreqIntercept,
+		})
+		if !core.Quarantined {
+			v.Live = true
+		}
+	}
+	return v, nil
+}
+
 // QuarantinedCores counts quarantined cores across the server.
 func (p *Provision) QuarantinedCores() int {
 	n := 0

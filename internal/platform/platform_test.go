@@ -169,3 +169,50 @@ func TestProvisionDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestProvisionView covers the re-admission rebuild hook: the
+// projection the dc recovery ladder re-materializes a node from.
+func TestProvisionView(t *testing.T) {
+	p := &Provision{Chips: []ChipProvision{{
+		Chip: "chip0", IdleW: 50, LoadedW: 130,
+		Cores: []CoreProvision{
+			{Core: "C0", FreqSlope: -2.5, FreqIntercept: 4000},
+			{Core: "C1", Quarantined: true},
+		},
+	}}}
+	v, err := p.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IdleW != 50 || v.SpanW != 40 || !v.Live || len(v.Cores) != 2 {
+		t.Fatalf("view = %+v, want idle 50, span (130-50)/2 = 40, live, 2 cores", v)
+	}
+	if v.Cores[0].Quarantined || v.Cores[0].Slope != -2.5 || v.Cores[0].Intercept != 4000 {
+		t.Fatalf("core 0 view = %+v", v.Cores[0])
+	}
+	if !v.Cores[1].Quarantined {
+		t.Fatal("core 1 lost its quarantine flag")
+	}
+
+	// All cores quarantined: the node is not live.
+	dead := &Provision{Chips: []ChipProvision{{
+		Chip: "chip0", IdleW: 50, LoadedW: 50,
+		Cores: []CoreProvision{{Core: "C0", Quarantined: true}},
+	}}}
+	if v, err := dead.View(); err != nil || v.Live {
+		t.Fatalf("all-quarantined view = (%+v, %v), want dead but valid", v, err)
+	}
+
+	// Validation failures: wrong chip count, inverted envelope.
+	if _, err := (&Provision{}).View(); err == nil {
+		t.Fatal("chipless provision accepted")
+	}
+	twoChips := &Provision{Chips: make([]ChipProvision, 2)}
+	if _, err := twoChips.View(); err == nil {
+		t.Fatal("multi-chip provision accepted as a single-chip node")
+	}
+	inverted := &Provision{Chips: []ChipProvision{{Chip: "chip0", IdleW: 90, LoadedW: 50}}}
+	if _, err := inverted.View(); err == nil {
+		t.Fatal("inverted power envelope accepted")
+	}
+}
